@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Table sizes are scaled down from the paper's 10M records (the workloads
+are stationary scans; EXPERIMENTS.md documents the size-sensitivity
+check).  Override via environment variables for longer, higher-fidelity
+runs:
+
+    REPRO_BENCH_TA=4096 REPRO_BENCH_TB=8192 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+TA_RECORDS = int(os.environ.get("REPRO_BENCH_TA", "512"))
+TB_RECORDS = int(os.environ.get("REPRO_BENCH_TB", "1024"))
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    return TA_RECORDS, TB_RECORDS
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block (visible with pytest -s or in the
+    captured section of the benchmark output)."""
+    bar = "=" * max(8, len(title))
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,45 @@
+"""Figure 12: speedup of every design on Q1-Q12 and Qs1-Qs6.
+
+Regenerates the paper's main result.  Paper values (geomean): SAM-sub
+3.8x on Q queries with -30% on Qs; SAM-IO 4.1x / ~0%; SAM-en 4.2x / ~0%;
+GS-DRAM-ecc 2.7x / -41%; RC-NVM-bit 2.6x / -58%; RC-NVM-wd 3.4x / -46%.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness.figure12 import run_figure12
+
+
+@pytest.fixture(scope="module")
+def figure12(bench_sizes):
+    n_ta, n_tb = bench_sizes
+    return run_figure12(n_ta=n_ta, n_tb=n_tb)
+
+
+def test_fig12_full_sweep(benchmark, bench_sizes):
+    n_ta, n_tb = bench_sizes
+    result = benchmark.pedantic(
+        lambda: run_figure12(n_ta=n_ta, n_tb=n_tb),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 12: speedup normalized to row-store baseline",
+         result.render())
+
+    # --- shape assertions (who wins, in which direction) ---
+    # SAM accelerates Q queries substantially
+    assert result.q_gmean("SAM-IO") > 3.0
+    assert result.q_gmean("SAM-en") > 3.0
+    assert result.q_gmean("SAM-sub") > 3.0
+    # ... without hurting Qs queries (the paper's headline)
+    assert result.qs_gmean("SAM-IO") > 0.97
+    assert result.qs_gmean("SAM-en") > 0.97
+    # SAM-sub pays on Qs; RC-NVM pays more
+    assert result.qs_gmean("SAM-sub") < 0.9
+    assert result.qs_gmean("RC-NVM-wd") < result.qs_gmean("SAM-sub")
+    # GS-DRAM-ecc clearly trails SAM on Q queries (the ECC tax)
+    assert result.q_gmean("GS-DRAM-ecc") < 0.75 * result.q_gmean("SAM-en")
+    # RC-NVM on its native substrate trails SAM designs
+    assert result.q_gmean("RC-NVM-wd") < result.q_gmean("SAM-en")
+    assert result.q_gmean("RC-NVM-bit") < result.q_gmean("RC-NVM-wd")

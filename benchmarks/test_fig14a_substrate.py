@@ -1,0 +1,41 @@
+"""Figure 14(a): RC-NVM and SAM on each other's memory technology.
+
+Paper: RC-NVM-wd and SAM-sub perform nearly the same on the same
+substrate, but RC-NVM always falls behind SAM-IO / SAM-en regardless of
+technology.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness.figure14 import run_figure14a
+
+QUERIES = ("Q1", "Q3", "Q4", "Q11", "Qs1", "Qs3")
+
+
+def test_fig14a_substrate_swap(benchmark, bench_sizes):
+    n_ta, n_tb = bench_sizes
+    result = benchmark.pedantic(
+        lambda: run_figure14a(
+            n_ta=max(64, n_ta // 2),
+            n_tb=max(128, n_tb // 2),
+            designs=("RC-NVM-wd", "SAM-sub", "SAM-IO", "SAM-en"),
+            queries=QUERIES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 14(a): gmean speedup per substrate", result.render())
+
+    dram, nvm = result.speedups["DRAM"], result.speedups["NVM"]
+    # RC-NVM-wd and SAM-sub are close on the same substrate
+    for sub in (dram, nvm):
+        ratio = sub["SAM-sub"] / sub["RC-NVM-wd"]
+        assert 0.6 < ratio < 1.9
+    # RC-NVM trails SAM-IO/en regardless of substrate
+    assert dram["SAM-IO"] > dram["RC-NVM-wd"]
+    assert nvm["SAM-IO"] > nvm["RC-NVM-wd"]
+    assert dram["SAM-en"] > dram["RC-NVM-wd"]
+    # DRAM timing beats NVM timing for every design
+    for design in dram:
+        assert dram[design] > nvm[design]

@@ -1,0 +1,39 @@
+"""Figure 14(b): strided granularity sweep (16 / 8 / 4 bits per chip).
+
+Paper: finer granularity improves bandwidth utilization and performance;
+SAM-en outperforms RC-NVM-wd and GS-DRAM-ecc at every granularity.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness.figure14 import run_figure14b
+
+QUERIES = ("Q1", "Q3", "Q4", "Q5")
+
+
+def test_fig14b_granularity(benchmark, bench_sizes):
+    n_ta, n_tb = bench_sizes
+    result = benchmark.pedantic(
+        lambda: run_figure14b(
+            n_ta=max(64, n_ta // 2),
+            n_tb=max(128, n_tb // 2),
+            queries=QUERIES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 14(b): Q-query gmean speedup by strided granularity",
+         result.render())
+
+    for design in ("SAM-en",):
+        assert (
+            result.speedups[4][design]
+            > result.speedups[8][design]
+            > result.speedups[16][design]
+        )
+    # SAM-en on top at every granularity
+    for bits in (16, 8, 4):
+        per = result.speedups[bits]
+        assert per["SAM-en"] >= per["RC-NVM-wd"]
+        assert per["SAM-en"] >= per["GS-DRAM-ecc"]

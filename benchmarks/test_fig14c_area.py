@@ -1,0 +1,34 @@
+"""Figure 14(c): area and storage overhead of every design.
+
+Paper values (Section 6.1): SAM-sub ~7.2%, SAM-IO <0.01%, SAM-en ~0.7%
+silicon; RC-NVM-bit ~15% and RC-NVM-wd ~33% plus two extra metal layers;
+GS-DRAM-ecc 12.5% storage; software two-copy 100% storage.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness.figure14 import render_figure14c, run_figure14c
+
+
+def test_fig14c_area_overhead(benchmark):
+    designs = benchmark.pedantic(run_figure14c, rounds=1, iterations=1)
+    emit("Figure 14(c): area / storage overhead", render_figure14c())
+
+    assert designs["SAM-sub"].silicon_fraction == pytest.approx(
+        0.072, abs=0.002
+    )
+    assert designs["SAM-IO"].silicon_fraction < 0.0001
+    assert designs["SAM-en"].silicon_fraction == pytest.approx(
+        0.007, abs=0.001
+    )
+    assert designs["RC-NVM-bit"].silicon_fraction == pytest.approx(
+        0.15, abs=0.01
+    )
+    assert designs["RC-NVM-wd"].silicon_fraction == pytest.approx(
+        0.33, abs=0.01
+    )
+    assert designs["GS-DRAM-ecc"].storage_fraction == 0.125
+    assert designs["two-copy"].storage_fraction == 1.0
+    for name in ("RC-NVM-bit", "RC-NVM-wd"):
+        assert designs[name].extra_metal_layers == 2

@@ -1,0 +1,112 @@
+"""Figure 15: arithmetic/aggregate query sweeps (all nine panels).
+
+Paper shapes:
+(a)   speedup rises with selectivity at low projectivity;
+(b,c) the rise flattens as more fields are projected;
+(d-f) speedup falls as projectivity grows, rises with selectivity;
+(g)   aggregate queries lift RC-NVM-wd close to SAM-en;
+(h)   at full projectivity everyone converges toward the row store;
+(i)   only RC-NVM-wd degrades as records grow (bank-conflict layout).
+SAM-en stays at or near the best design in every panel.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.harness.figure15 import (
+    run_projectivity_sweep,
+    run_record_size_sweep,
+    run_selectivity_sweep,
+)
+
+N_TA = 256
+SELS = (0.25, 1.0)
+PROJS = (8, 64, 128)
+
+
+def test_fig15_abc_selectivity(benchmark):
+    def run():
+        return {
+            "a(8 fields)": run_selectivity_sweep(8, N_TA,
+                                                 selectivities=SELS),
+            "b(64 fields)": run_selectivity_sweep(64, N_TA,
+                                                  selectivities=SELS),
+            "c(128 fields)": run_selectivity_sweep(128, N_TA,
+                                                   selectivities=SELS),
+        }
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, panel in panels.items():
+        emit(f"Figure 15({name[0]})", panel.render())
+
+    # (a) low projectivity: SAM-en well above 1 at every selectivity
+    a = panels["a(8 fields)"].points
+    assert all(per["SAM-en"] > 1.5 for per in a.values())
+    # (c) full projectivity: advantage shrinks toward the row store
+    c = panels["c(128 fields)"].points
+    assert max(per["SAM-en"] for per in c.values()) < max(
+        per["SAM-en"] for per in a.values()
+    )
+    # SAM-en >= GS-DRAM-ecc everywhere
+    for panel in panels.values():
+        for per in panel.points.values():
+            assert per["SAM-en"] >= 0.9 * per["GS-DRAM-ecc"]
+
+
+def test_fig15_def_projectivity(benchmark):
+    def run():
+        return {
+            "d(10%)": run_projectivity_sweep(0.10, N_TA,
+                                             projectivities=PROJS),
+            "f(100%)": run_projectivity_sweep(1.00, N_TA,
+                                              projectivities=PROJS),
+        }
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, panel in panels.items():
+        emit(f"Figure 15({name[0]})", panel.render())
+
+    # speedup declines as projectivity grows (the baseline's home turf)
+    for panel in panels.values():
+        series = [panel.points[p]["SAM-en"] for p in PROJS]
+        assert series[0] > series[-1]
+
+
+def test_fig15_gh_aggregate(benchmark):
+    def run():
+        return {
+            "g": run_selectivity_sweep(8, N_TA, selectivities=SELS,
+                                       aggregate=True),
+            "h": run_projectivity_sweep(1.00, N_TA,
+                                        projectivities=PROJS,
+                                        aggregate=True),
+        }
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, panel in panels.items():
+        emit(f"Figure 15({name})", panel.render())
+
+    # (g): aggregate processing relieves RC-NVM's field switching -- the
+    # gap to SAM-en narrows (paper: "nearly the same")
+    g = panels["g"].points
+    for per in g.values():
+        assert per["RC-NVM-wd"] > 0.45 * per["SAM-en"]
+    assert all(per["SAM-en"] > 1.5 for per in g.values())
+
+
+def test_fig15_i_record_size(benchmark):
+    panel = benchmark.pedantic(
+        lambda: run_record_size_sweep(
+            n_bytes_total=256 * 1024, record_fields=(8, 128, 1024)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 15(i): record-size sweep (100%/100%)", panel.render())
+
+    sizes = sorted(panel.points)
+    # only RC-NVM-wd degrades with record size (paper's conclusion)
+    rc = [panel.points[s]["RC-NVM-wd"] for s in sizes]
+    sam = [panel.points[s]["SAM-en"] for s in sizes]
+    assert rc[-1] < rc[0]
+    assert sam[-1] > 0.75 * sam[0]

@@ -1,0 +1,87 @@
+"""Microbenchmarks of the substrate primitives (pytest-benchmark proper:
+repeated timed rounds, since these are fast and deterministic)."""
+
+import random
+
+import pytest
+
+from repro.dram import (
+    AddressMapper,
+    DDR4_2400,
+    MemoryController,
+    Request,
+    RequestType,
+)
+from repro.dram.datapath import RankDatapath
+from repro.ecc.chipkill import SSCCodec
+from repro.ecc.rs import ReedSolomon
+from repro.kernel import Kernel
+
+rng = random.Random(0)
+
+
+def test_bench_controller_read_stream(benchmark):
+    """Simulator throughput: 512 bank-interleaved reads."""
+    am = AddressMapper()
+
+    def run():
+        kernel = Kernel()
+        mc = MemoryController(kernel, DDR4_2400)
+        pending = [
+            Request(addr=am.decode((i % 64) * 8192 + (i // 64) * 64),
+                    type=RequestType.READ)
+            for i in range(512)
+        ]
+
+        def feed():
+            while pending and mc.can_accept(pending[0]):
+                mc.submit(pending.pop(0))
+            if pending:
+                kernel.schedule(32, feed)
+
+        kernel.schedule_at(0, feed)
+        kernel.run()
+        return kernel.now
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+def test_bench_rs_decode_chip_fault(benchmark):
+    codec = SSCCodec()
+    data = bytes(rng.randrange(256) for _ in range(16))
+    parity = codec.encode(data)
+    bad = bytearray(data)
+    bad[5] ^= 0xFF
+    bad = bytes(bad)
+
+    report = benchmark(lambda: codec.decode(bad, parity))
+    assert report.data == data
+
+
+def test_bench_rs_encode(benchmark):
+    rs = ReedSolomon(18, 16, 8)
+    data = [rng.randrange(256) for _ in range(16)]
+    cw = benchmark(lambda: rs.encode(data))
+    assert len(cw) == 18
+
+
+def test_bench_gather_datapath(benchmark):
+    dp = RankDatapath(layout="default")
+    for c in range(4):
+        dp.write_line(0, 0, c,
+                      bytes(rng.randrange(256) for _ in range(64)))
+
+    sectors = benchmark(lambda: dp.gather_sectors(0, 0, [0, 1, 2, 3], 1))
+    assert len(sectors) == 4
+
+
+def test_bench_address_decode(benchmark):
+    mapper = AddressMapper()
+    addrs = [rng.randrange(1 << 34) for _ in range(1000)]
+
+    def run():
+        return [mapper.decode(a) for a in addrs]
+
+    decoded = benchmark(run)
+    assert len(decoded) == 1000

@@ -1,0 +1,32 @@
+"""Table 1: the qualitative comparison of designs for strided access."""
+
+import pytest
+
+from conftest import emit
+from repro.core.compare import COLUMNS, comparison_matrix, render_table
+
+
+#: Table 1 as printed in the paper (v good, o fair, x poor).
+PAPER_TABLE1 = {
+    "Memory Controller":    dict(zip(COLUMNS, "vvxvvv")),
+    "Command Interface":    dict(zip(COLUMNS, "vvxvvv")),
+    "Critical-Word-First":  dict(zip(COLUMNS, "vvxvxv")),
+    "Performance":          dict(zip(COLUMNS, "xxvovv")),
+    "Power Consumption":    dict(zip(COLUMNS, "oovvov")),
+    "Area Overhead":        dict(zip(COLUMNS, "xxvovv")),
+    "Reliability":          dict(zip(COLUMNS, "vvxvvv")),
+    "Mode Switch Delay":    dict(zip(COLUMNS, "oovooo")),
+}
+
+
+def test_table1_matches_paper(benchmark):
+    matrix = benchmark.pedantic(comparison_matrix, rounds=1, iterations=1)
+    emit("Table 1: comparison of designs for strided access",
+         render_table())
+    mismatches = []
+    for row, expected in PAPER_TABLE1.items():
+        for design, symbol in expected.items():
+            got = matrix[design][row]
+            if got != symbol:
+                mismatches.append((row, design, symbol, got))
+    assert not mismatches, f"cells differing from the paper: {mismatches}"

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Chipkill under strided access: SAM vs GS-DRAM, bit for bit.
+
+This example uses the *functional* datapath (real bytes through the
+common-die I/O buffers) to demonstrate the paper's reliability argument:
+
+1. store four cachelines with SSC chipkill parity,
+2. kill one DRAM chip (all of its bits corrupt),
+3. perform a SAM stride-mode gather -- every strided element arrives as a
+   complete 18-symbol codeword, so the dead chip is corrected;
+4. contrast with GS-DRAM, whose gathers mix rows across chips so the
+   parity for the gathered data is simply not in the transfer.
+
+Run:  python examples/chipkill_reliability.py
+"""
+
+import random
+
+from repro.dram.datapath import RankDatapath
+from repro.ecc.chipkill import ChipAlignedSSC
+from repro.ecc.layout import gs_dram_gather_check, sam_gather_check
+
+rng = random.Random(2021)
+
+
+def main() -> None:
+    codec = ChipAlignedSSC(layout="default")
+    dp = RankDatapath(layout="default")  # SAM-en's 2-D buffer layout
+
+    lines = [bytes(rng.randrange(256) for _ in range(64)) for _ in range(4)]
+    for col, line in enumerate(lines):
+        parity = b"".join(
+            codec.encode_sector(line[16 * s : 16 * s + 16])
+            for s in range(4)
+        )
+        dp.write_line(bank=0, row=0, column=col, line=line, parity=parity)
+    print("stored 4 cachelines + SSC chipkill parity (16 data + 2 parity"
+          " chips)")
+
+    # --- kill chip 11: every block it holds returns garbage -------------
+    dead_chip = 11
+    storage = dp.data_chips[dead_chip].row(0, 0)
+    for col in range(4):
+        storage[col] ^= rng.randrange(1, 1 << 32)
+    print(f"injected failure: chip {dead_chip} returns corrupted data\n")
+
+    # --- SAM gather: one burst, four strided sectors, all correctable ---
+    print("SAM stride-mode gather (sector 2 of each line):")
+    pairs = dp.gather_sectors(0, 0, [0, 1, 2, 3], sector=2,
+                              with_parity=True)
+    for j, (data, parity) in enumerate(pairs):
+        report = codec.decode_sector(data, parity)
+        want = lines[j][32:48]
+        status = "corrected" if report.data == want else "WRONG"
+        print(f"  element {j}: corrupted symbol at chip"
+              f" {report.corrected_chips} -> {status}")
+        assert report.data == want
+    print("  => chipkill held: the strided transfer carries whole"
+          " codewords\n")
+
+    # --- structural comparison ------------------------------------------
+    sam = sam_gather_check()
+    gs = gs_dram_gather_check()
+    print("codeword-integrity check per gather type:")
+    print(f"  SAM     : complete={sam.complete}  ({sam.reason})")
+    print(f"  GS-DRAM : complete={gs.complete}  ({gs.reason})")
+    print("\nGS-DRAM's gather pulls each line from a different row, but a"
+          "\nparity chip can only follow one row address -- the gathered"
+          "\ndata arrives without its check symbols, so a failed chip is"
+          "\nsilent data corruption (Section 3.3.1).")
+
+
+if __name__ == "__main__":
+    main()

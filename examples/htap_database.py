@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""HTAP scenario: one table layout serving transactions *and* analytics.
+
+The motivating workload of the paper (Section 3.1): a hybrid
+transactional/analytical database cannot pick one layout -- OLAP scans
+want columns, OLTP record operations want rows.  This example runs a mixed
+workload on several memory designs and shows that SAM serves both sides
+from a single row-store layout:
+
+* analytics  (Q1 project, Q3 sum, Q11 bulk update)   -- strided accesses
+* transactions (Qs2 record fetch, Qs4 record filter, Qs6 inserts) -- rows
+
+Run:  python examples/htap_database.py
+"""
+
+from repro import by_name, run_query
+from repro.harness.workload import geomean, make_tables
+
+ANALYTICS = ("Q1", "Q3", "Q11")
+TRANSACTIONS = ("Qs2", "Qs4", "Qs6")
+DESIGNS = ("SAM-en", "SAM-sub", "GS-DRAM-ecc", "RC-NVM-wd")
+
+N_TA, N_TB = 1024, 2048
+
+
+def run_suite(design: str, queries) -> dict:
+    out = {}
+    for qname in queries:
+        tables = make_tables(N_TA, N_TB)
+        out[qname] = run_query(design, by_name()[qname], tables).cycles
+    return out
+
+
+def main() -> None:
+    print(f"tables: Ta {N_TA} x 1KB records, Tb {N_TB} x 128B records\n")
+    base_olap = run_suite("baseline", ANALYTICS)
+    base_oltp = run_suite("baseline", TRANSACTIONS)
+
+    header = (
+        f"{'design':14s} {'analytics':>12s} {'transactions':>14s}   verdict"
+    )
+    print(header)
+    print("-" * len(header))
+    for design in DESIGNS:
+        olap = run_suite(design, ANALYTICS)
+        oltp = run_suite(design, TRANSACTIONS)
+        olap_speed = geomean(
+            base_olap[q] / olap[q] for q in ANALYTICS
+        )
+        oltp_speed = geomean(
+            base_oltp[q] / oltp[q] for q in TRANSACTIONS
+        )
+        if olap_speed > 2 and oltp_speed > 0.97:
+            verdict = "fast analytics, transactions unharmed"
+        elif olap_speed > 2:
+            verdict = "fast analytics, but transactions pay"
+        else:
+            verdict = "limited analytics gain"
+        print(
+            f"{design:14s} {olap_speed:11.2f}x {oltp_speed:13.2f}x   "
+            f"{verdict}"
+        )
+
+    print("\n(speedups are geometric means over each query group,")
+    print(" normalized to a commodity row-store DRAM baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package
+(this environment is offline and has no bdist_wheel support)."""
+from setuptools import setup
+
+setup()

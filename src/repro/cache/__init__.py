@@ -1,0 +1,14 @@
+"""Sector cache hierarchy (valid/dirty bits per 16B chipkill codeword)."""
+
+from .hierarchy import CacheHierarchy, HierarchyConfig, LookupResult
+from .sector import CacheStats, Eviction, SectorCache, full_mask
+
+__all__ = [
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "LookupResult",
+    "CacheStats",
+    "Eviction",
+    "SectorCache",
+    "full_mask",
+]

@@ -1,0 +1,126 @@
+"""Three-level cache hierarchy (Table 2: L1 32KB, L2 256KB, LLC 8MB).
+
+The hierarchy is functional (hit/miss classification + inclusive fills);
+latencies are charged by the CPU model.  All levels are sector caches so
+SAM's strided fills stay at sector granularity end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .sector import Eviction, SectorCache
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    l1_bytes: int = 32 * 1024
+    l1_ways: int = 8
+    l2_bytes: int = 256 * 1024
+    l2_ways: int = 8
+    llc_bytes: int = 8 * 1024 * 1024
+    llc_ways: int = 8
+    line_bytes: int = 64
+    sectors: int = 4
+    l1_latency: int = 1  # memory-controller cycles
+    l2_latency: int = 4
+    llc_latency: int = 12
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a hierarchy probe."""
+
+    level: Optional[int]  # 1, 2, 3 for a hit; None for full miss
+    latency: int  # cycles spent probing (hit latency of deepest probe)
+    missing_mask: int  # sectors to fetch from memory (0 on hit)
+    writebacks: Tuple[int, ...] = ()  # dirty victim line addrs to write back
+
+
+class CacheHierarchy:
+    """L1 -> L2 -> LLC, inclusive on fill paths, LRU everywhere."""
+
+    def __init__(self, config: HierarchyConfig | None = None,
+                 per_core_l1: int = 1) -> None:
+        self.config = config or HierarchyConfig()
+        c = self.config
+        self.l1 = [
+            SectorCache(c.l1_bytes, c.l1_ways, c.line_bytes, c.sectors,
+                        name=f"L1[{i}]")
+            for i in range(per_core_l1)
+        ]
+        self.l2 = SectorCache(c.l2_bytes, c.l2_ways, c.line_bytes, c.sectors,
+                              name="L2")
+        self.llc = SectorCache(c.llc_bytes, c.llc_ways, c.line_bytes,
+                               c.sectors, name="LLC")
+
+    # --------------------------------------------------------------- reads
+
+    def lookup(self, core: int, line_addr: int,
+               sector_mask: int) -> LookupResult:
+        """Probe L1 -> L2 -> LLC; fill upper levels on a lower-level hit."""
+        c = self.config
+        l1 = self.l1[core % len(self.l1)]
+        hit, missing = l1.lookup(line_addr, sector_mask)
+        if hit:
+            return LookupResult(1, c.l1_latency, 0)
+        hit2, missing2 = self.l2.lookup(line_addr, missing)
+        if hit2:
+            self._fill_upper(l1, None, line_addr, missing)
+            return LookupResult(2, c.l2_latency, 0)
+        hit3, missing3 = self.llc.lookup(line_addr, missing2)
+        if hit3:
+            self._fill_upper(l1, self.l2, line_addr, missing)
+            return LookupResult(3, c.llc_latency, 0)
+        return LookupResult(None, c.llc_latency, missing3)
+
+    def fill_from_memory(self, core: int, line_addr: int,
+                         sector_mask: int) -> List[Eviction]:
+        """Install fetched sectors in all levels; returns dirty victims."""
+        l1 = self.l1[core % len(self.l1)]
+        evictions = []
+        for cache in (self.llc, self.l2, l1):
+            victim = cache.fill(line_addr, sector_mask)
+            if victim is not None and victim.dirty_mask:
+                evictions.append(victim)
+        return evictions
+
+    # -------------------------------------------------------------- writes
+
+    def write(self, core: int, line_addr: int,
+              sector_mask: int) -> LookupResult:
+        """Write-allocate, write-back: marks sectors dirty when resident,
+        otherwise reports the sectors to fetch (read-for-ownership)."""
+        result = self.lookup(core, line_addr, sector_mask)
+        if result.level is not None:
+            self._dirty_all(core, line_addr, sector_mask)
+        return result
+
+    def complete_write_fill(self, core: int, line_addr: int,
+                            sector_mask: int) -> List[Eviction]:
+        """Fill after a write miss, marking the written sectors dirty."""
+        evictions = self.fill_from_memory(core, line_addr, sector_mask)
+        self._dirty_all(core, line_addr, sector_mask)
+        return evictions
+
+    # ------------------------------------------------------------ internals
+
+    def _fill_upper(self, l1: SectorCache, l2: Optional[SectorCache],
+                    line_addr: int, sector_mask: int) -> None:
+        if l2 is not None:
+            l2.fill(line_addr, sector_mask)
+        l1.fill(line_addr, sector_mask)
+
+    def _dirty_all(self, core: int, line_addr: int, sector_mask: int) -> None:
+        l1 = self.l1[core % len(self.l1)]
+        for cache in (l1, self.l2, self.llc):
+            if cache.resident(line_addr):
+                cache.fill(line_addr, sector_mask, dirty=True)
+
+    def flush_dirty(self) -> List[Eviction]:
+        """Flush every level; dirty LLC lines become writebacks."""
+        for cache in self.l1:
+            cache.flush()
+        self.l2.flush()
+        return [e for e in self.llc.flush() if e.dirty_mask]

@@ -1,0 +1,171 @@
+"""Set-associative sector cache (Section 5.1.1).
+
+SAM returns strided data as sectors of a cacheline (one chipkill codeword
+each), so the cache tracks validity and dirtiness per sector: a line may be
+resident with only the sectors a strided load brought in.  Regular fills
+validate all sectors.  Sector count is configurable (4 x 16B under SSC,
+8 x 8B under SSC-DSD).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+def full_mask(sectors: int) -> int:
+    return (1 << sectors) - 1
+
+
+@dataclass
+class LineState:
+    """Residency state of one cached line."""
+
+    valid_mask: int = 0
+    dirty_mask: int = 0
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    partial_hits: int = 0  # line present but some requested sectors invalid
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A victim line pushed out by a fill."""
+
+    line_addr: int
+    dirty_mask: int
+
+
+class SectorCache:
+    """One cache level with per-sector valid/dirty bits and LRU sets."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        sectors: int = 4,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("cache size must divide into ways * line size")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.sectors = sectors
+        self.sector_bytes = line_bytes // sectors
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        # each set: OrderedDict line_addr -> LineState, LRU first
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------- helpers
+
+    def _set_for(self, line_addr: int) -> OrderedDict:
+        index = (line_addr // self.line_bytes) % self.num_sets
+        return self._sets[index]
+
+    def sector_mask_for(self, addr: int, size: int) -> int:
+        """Mask of sectors covering ``[addr, addr + size)`` within a line."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        offset = addr % self.line_bytes
+        if offset + size > self.line_bytes:
+            raise ValueError("access crosses a line boundary")
+        first = offset // self.sector_bytes
+        last = (offset + size - 1) // self.sector_bytes
+        mask = 0
+        for s in range(first, last + 1):
+            mask |= 1 << s
+        return mask
+
+    # -------------------------------------------------------------- access
+
+    def lookup(self, line_addr: int, sector_mask: int) -> Tuple[bool, int]:
+        """Probe without filling.
+
+        Returns ``(hit, missing_mask)``: hit is True when every requested
+        sector is valid; ``missing_mask`` lists the sectors that must be
+        fetched.  Updates LRU on any touch of a resident line.
+        """
+        self.stats.accesses += 1
+        cache_set = self._set_for(line_addr)
+        state = cache_set.get(line_addr)
+        if state is None:
+            self.stats.misses += 1
+            return False, sector_mask
+        cache_set.move_to_end(line_addr)
+        missing = sector_mask & ~state.valid_mask
+        if missing:
+            self.stats.misses += 1
+            self.stats.partial_hits += 1
+            return False, missing
+        self.stats.hits += 1
+        return True, 0
+
+    def mark_dirty(self, line_addr: int, sector_mask: int) -> bool:
+        """Set dirty bits on a resident line; returns False if not present."""
+        state = self._set_for(line_addr).get(line_addr)
+        if state is None or (state.valid_mask & sector_mask) != sector_mask:
+            return False
+        state.dirty_mask |= sector_mask
+        return True
+
+    def fill(self, line_addr: int, sector_mask: int,
+             dirty: bool = False) -> Optional[Eviction]:
+        """Install sectors of a line, evicting LRU if needed."""
+        cache_set = self._set_for(line_addr)
+        state = cache_set.get(line_addr)
+        evicted = None
+        if state is None:
+            if len(cache_set) >= self.ways:
+                victim_addr, victim = cache_set.popitem(last=False)
+                self.stats.evictions += 1
+                if victim.dirty_mask:
+                    self.stats.writebacks += 1
+                evicted = Eviction(victim_addr, victim.dirty_mask)
+            state = LineState()
+            cache_set[line_addr] = state
+        state.valid_mask |= sector_mask
+        if dirty:
+            state.dirty_mask |= sector_mask
+        cache_set.move_to_end(line_addr)
+        return evicted
+
+    def invalidate(self, line_addr: int) -> Optional[Eviction]:
+        """Drop a line; returns its dirty state for writeback."""
+        cache_set = self._set_for(line_addr)
+        state = cache_set.pop(line_addr, None)
+        if state is None:
+            return None
+        if state.dirty_mask:
+            self.stats.writebacks += 1
+        return Eviction(line_addr, state.dirty_mask)
+
+    def resident(self, line_addr: int) -> bool:
+        return line_addr in self._set_for(line_addr)
+
+    def flush(self) -> List[Eviction]:
+        """Empty the cache, returning all dirty victims."""
+        out = []
+        for cache_set in self._sets:
+            for line_addr, state in cache_set.items():
+                if state.dirty_mask:
+                    out.append(Eviction(line_addr, state.dirty_mask))
+                    self.stats.writebacks += 1
+            cache_set.clear()
+        return out

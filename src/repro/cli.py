@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's artefacts:
+
+* ``figure12`` / ``figure13`` / ``figure14a`` / ``figure14b`` /
+  ``figure14c`` / ``figure15`` -- regenerate an evaluation figure;
+* ``table1``      -- the qualitative comparison matrix;
+* ``reliability`` -- the fault-injection matrix;
+* ``query``       -- run one SQL statement on a chosen design;
+* ``schemes``     -- list the available designs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_size_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ta", type=int, default=512,
+                        help="records in the wide table Ta")
+    parser.add_argument("--tb", type=int, default=1024,
+                        help="records in the narrow table Tb")
+
+
+def _cmd_figure12(args) -> int:
+    from .harness.figure12 import run_figure12
+
+    result = run_figure12(
+        n_ta=args.ta, n_tb=args.tb,
+        designs=args.designs or None,
+        queries=args.queries or None,
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_figure13(args) -> int:
+    from .harness.figure13 import run_figure13
+
+    designs = args.designs or ["baseline", "SAM-sub", "SAM-IO", "SAM-en"]
+    print(run_figure13(n_ta=args.ta, n_tb=args.tb,
+                       designs=designs).render())
+    return 0
+
+
+def _cmd_figure14a(args) -> int:
+    from .harness.figure14 import run_figure14a
+
+    print(run_figure14a(n_ta=args.ta, n_tb=args.tb).render())
+    return 0
+
+
+def _cmd_figure14b(args) -> int:
+    from .harness.figure14 import run_figure14b
+
+    print(run_figure14b(n_ta=args.ta, n_tb=args.tb).render())
+    return 0
+
+
+def _cmd_figure14c(args) -> int:
+    from .harness.figure14 import render_figure14c
+
+    print(render_figure14c())
+    return 0
+
+
+def _cmd_figure15(args) -> int:
+    from .harness.figure15 import run_figure15
+
+    panels = run_figure15(n_ta=args.ta)
+    selected = args.panels or sorted(panels)
+    for key in selected:
+        if key not in panels:
+            print(f"unknown panel {key!r} (have {sorted(panels)})",
+                  file=sys.stderr)
+            return 2
+        print(panels[key].render())
+        print()
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .core.compare import render_table
+
+    print(render_table())
+    return 0
+
+
+def _cmd_reliability(args) -> int:
+    from .harness.reliability import render_reliability
+
+    print(render_reliability(trials=args.trials))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .harness.workload import make_tables
+    from .imdb.sql import parse
+    from .sim.runner import run_query
+
+    query = parse(args.sql, name="cli")
+    tables = make_tables(args.ta, args.tb)
+    result = run_query(args.scheme, query, tables,
+                       gather_factor=args.gather)
+    print(f"scheme   : {result.scheme}")
+    print(f"result   : {result.result}")
+    print(f"cycles   : {result.cycles}  ({result.ns / 1000:.1f} us)")
+    print(f"power    : {result.power.total_mw:.0f} mW")
+    stats = result.memory_stats
+    print(
+        f"commands : {stats.reads} RD ({stats.gather_reads} gathers), "
+        f"{stats.writes} WR, {stats.acts + stats.col_acts} ACT, "
+        f"{stats.mode_switches} mode switches"
+    )
+    if args.baseline and args.scheme != "baseline":
+        tables = make_tables(args.ta, args.tb)
+        base = run_query("baseline", query, tables)
+        print(f"speedup  : {base.cycles / result.cycles:.2f}x over baseline")
+    return 0
+
+
+def _cmd_schemes(args) -> int:
+    from .core.registry import available_schemes, make_scheme
+
+    for name in available_schemes():
+        scheme = make_scheme(name)
+        stride = (
+            f"gather x{scheme.gather_factor}"
+            if scheme.supports_stride
+            else "no stride hw"
+        )
+        print(
+            f"{name:14s} {scheme.timing.name:22s} {stride:14s} "
+            f"area +{scheme.area.silicon_fraction:.2%}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'SAM: Accelerating Strided Memory "
+                    "Accesses' (MICRO 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure12", help="speedup over all queries")
+    _add_size_args(p)
+    p.add_argument("--designs", nargs="*", default=None)
+    p.add_argument("--queries", nargs="*", default=None)
+    p.set_defaults(func=_cmd_figure12)
+
+    p = sub.add_parser("figure13", help="power and energy efficiency")
+    _add_size_args(p)
+    p.add_argument("--designs", nargs="*", default=None)
+    p.set_defaults(func=_cmd_figure13)
+
+    p = sub.add_parser("figure14a", help="substrate swap")
+    _add_size_args(p)
+    p.set_defaults(func=_cmd_figure14a)
+
+    p = sub.add_parser("figure14b", help="strided granularity sweep")
+    _add_size_args(p)
+    p.set_defaults(func=_cmd_figure14b)
+
+    p = sub.add_parser("figure14c", help="area/storage overhead")
+    p.set_defaults(func=_cmd_figure14c)
+
+    p = sub.add_parser("figure15", help="parametric query sweeps")
+    _add_size_args(p)
+    p.add_argument("--panels", nargs="*", default=None,
+                   help="panels a..i (default: all)")
+    p.set_defaults(func=_cmd_figure15)
+
+    p = sub.add_parser("table1", help="qualitative comparison matrix")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("reliability", help="fault-injection matrix")
+    p.add_argument("--trials", type=int, default=500)
+    p.set_defaults(func=_cmd_reliability)
+
+    p = sub.add_parser("query", help="run one SQL statement")
+    p.add_argument("sql", help="e.g. 'SELECT SUM(f9) FROM Ta WHERE f10 > "
+                               "7500'")
+    p.add_argument("--scheme", default="SAM-en")
+    p.add_argument("--gather", type=int, default=None,
+                   help="gather factor (2/4/8)")
+    p.add_argument("--baseline", action="store_true",
+                   help="also run the baseline and print the speedup")
+    _add_size_args(p)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("schemes", help="list available designs")
+    p.set_defaults(func=_cmd_schemes)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""The paper's contribution: the SAM designs and their comparators."""
+
+from .baseline import BaselineScheme, ColumnStoreScheme
+from .compare import comparison_matrix, grade, render_table
+from .gs_dram import GSDRAMEccScheme, GSDRAMScheme
+from .placements import (
+    ColumnMajorPlacement,
+    RowMajorPlacement,
+    SegmentPlacement,
+    VerticalPlacement,
+)
+from .rc_nvm import RCNVMBitScheme, RCNVMWordScheme
+from .registry import FIGURE12_DESIGNS, available_schemes, make_scheme
+from .sam import SAMEnScheme, SAMIOScheme, SAMSubScheme
+from .scheme import (
+    AccessScheme,
+    GatherPlan,
+    Placement,
+    SchemeTraits,
+    TablePlacement,
+)
+
+__all__ = [
+    "BaselineScheme",
+    "ColumnStoreScheme",
+    "comparison_matrix",
+    "grade",
+    "render_table",
+    "GSDRAMEccScheme",
+    "GSDRAMScheme",
+    "ColumnMajorPlacement",
+    "RowMajorPlacement",
+    "SegmentPlacement",
+    "VerticalPlacement",
+    "RCNVMBitScheme",
+    "RCNVMWordScheme",
+    "FIGURE12_DESIGNS",
+    "available_schemes",
+    "make_scheme",
+    "SAMEnScheme",
+    "SAMIOScheme",
+    "SAMSubScheme",
+    "AccessScheme",
+    "GatherPlan",
+    "Placement",
+    "SchemeTraits",
+    "TablePlacement",
+]

@@ -1,0 +1,65 @@
+"""Commodity-DRAM baseline and the per-query "ideal" stores.
+
+* :class:`BaselineScheme` -- unmodified DDR4 with a row-store layout: the
+  normalization target of every figure.
+* :class:`ColumnStoreScheme` -- unmodified DDR4 with a pure column-store
+  layout.  Together with the baseline it forms the paper's "ideal" series:
+  whichever store the query prefers (column for Q queries, row for Qs).
+"""
+
+from __future__ import annotations
+
+from ..area.overhead import AreaReport
+from .placements import ColumnMajorPlacement, RowMajorPlacement
+from .scheme import AccessScheme, Placement, SchemeTraits, TablePlacement
+
+_UNMODIFIED = AreaReport("baseline", 0.0, 0.0, extra_metal_layers=0)
+
+
+class BaselineScheme(AccessScheme):
+    """Row-store on stock DDR4: no stride hardware, no extra cost."""
+
+    name = "baseline"
+
+    def __init__(self, geometry=None) -> None:
+        super().__init__(geometry, gather_factor=1)
+
+    @property
+    def traits(self) -> SchemeTraits:
+        return SchemeTraits(
+            needs_db_alignment=False,
+            needs_isa_extension=False,
+            needs_sector_cache=False,
+        )
+
+    @property
+    def area(self) -> AreaReport:
+        return _UNMODIFIED
+
+    def placement(self, table: TablePlacement) -> Placement:
+        return RowMajorPlacement(table, self)
+
+
+class ColumnStoreScheme(AccessScheme):
+    """Column-store on stock DDR4 (the Q-query half of "ideal")."""
+
+    name = "column-store"
+
+    def __init__(self, geometry=None, field_bytes: int = 8) -> None:
+        super().__init__(geometry, gather_factor=1)
+        self.field_bytes = field_bytes
+
+    @property
+    def traits(self) -> SchemeTraits:
+        return SchemeTraits(
+            needs_db_alignment=False,
+            needs_isa_extension=False,
+            needs_sector_cache=False,
+        )
+
+    @property
+    def area(self) -> AreaReport:
+        return _UNMODIFIED
+
+    def placement(self, table: TablePlacement) -> Placement:
+        return ColumnMajorPlacement(table, self, self.field_bytes)

@@ -1,0 +1,116 @@
+"""Qualitative comparison matrix (Table 1).
+
+Each cell is derived from the scheme objects' traits and models rather
+than hard-coded, so the matrix stays consistent with the implementation.
+Symbols follow the paper: ``v`` good/unmodified, ``o`` fair/slightly
+modified, ``x`` poor/modified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .registry import make_scheme
+from .scheme import AccessScheme
+
+GOOD, FAIR, POOR = "v", "o", "x"
+
+#: Table 1 row labels in paper order.
+ROWS = (
+    "Database Alignment",
+    "ISA Extension",
+    "Sector Cache or MDA Cache",
+    "Memory Controller",
+    "Command Interface",
+    "Critical-Word-First",
+    "Performance",
+    "Power Consumption",
+    "Area Overhead",
+    "Reliability",
+    "Mode Switch Delay",
+)
+
+#: Table 1 column order.
+COLUMNS = (
+    "RC-NVM-bit",
+    "RC-NVM-wd",
+    "GS-DRAM",
+    "SAM-sub",
+    "SAM-IO",
+    "SAM-en",
+)
+
+
+def _performance_grade(scheme: AccessScheme) -> str:
+    """Performance: NVM substrate is poor; SAM-sub's per-gather column
+    activation is fair; row-gather designs are good."""
+    if scheme.traits.substrate == "NVM":
+        return POOR
+    if scheme.name == "SAM-sub":
+        return FAIR
+    return GOOD
+
+
+def _power_grade(scheme: AccessScheme) -> str:
+    cfg = scheme.power_config
+    if cfg.rram:
+        return FAIR  # great on read, poor on write
+    if cfg.stride_internal_bursts > 1:
+        return FAIR  # SAM-IO moves unused data internally
+    return GOOD
+
+
+def _area_grade(scheme: AccessScheme) -> str:
+    silicon = scheme.area.silicon_fraction
+    if silicon >= 0.10 or scheme.area.extra_metal_layers:
+        return POOR
+    if silicon >= 0.02:
+        return FAIR
+    return GOOD
+
+
+def _reliability_grade(scheme: AccessScheme) -> str:
+    return GOOD if scheme.traits.ecc_compatible else POOR
+
+
+def _mode_switch_grade(scheme: AccessScheme) -> str:
+    return FAIR if scheme.traits.mode_switch_delay else GOOD
+
+
+def grade(scheme: AccessScheme) -> Dict[str, str]:
+    """One Table 1 column for ``scheme``."""
+    t = scheme.traits
+    # The first three rows are checkmarks in the paper for every design:
+    # all of them need aligned records, an ISA hook and a sector/MDA cache.
+    return {
+        "Database Alignment": GOOD,
+        "ISA Extension": GOOD,
+        "Sector Cache or MDA Cache": GOOD,
+        "Memory Controller": POOR if t.modifies_memory_controller else GOOD,
+        "Command Interface": POOR if t.modifies_command_interface else GOOD,
+        "Critical-Word-First": GOOD if t.critical_word_first else POOR,
+        "Performance": _performance_grade(scheme),
+        "Power Consumption": _power_grade(scheme),
+        "Area Overhead": _area_grade(scheme),
+        "Reliability": _reliability_grade(scheme),
+        "Mode Switch Delay": _mode_switch_grade(scheme),
+    }
+
+
+def comparison_matrix() -> Dict[str, Dict[str, str]]:
+    """The full Table 1: column name -> {row label -> symbol}."""
+    return {name: grade(make_scheme(name)) for name in COLUMNS}
+
+
+def render_table() -> str:
+    """ASCII rendering of Table 1 for reports and examples."""
+    matrix = comparison_matrix()
+    width = max(len(r) for r in ROWS) + 2
+    col_width = max(len(c) for c in COLUMNS) + 2
+    lines = [" " * width + "".join(c.ljust(col_width) for c in COLUMNS)]
+    for row in ROWS:
+        cells = "".join(
+            matrix[c][row].ljust(col_width) for c in COLUMNS
+        )
+        lines.append(row.ljust(width) + cells)
+    return "\n".join(lines)

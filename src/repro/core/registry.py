@@ -1,0 +1,65 @@
+"""Scheme registry: name -> factory for every evaluated design."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..dram.geometry import Geometry
+from .baseline import BaselineScheme, ColumnStoreScheme
+from .gs_dram import GSDRAMEccScheme, GSDRAMScheme
+from .rc_nvm import RCNVMBitScheme, RCNVMWordScheme
+from .sam import SAMEnScheme, SAMIOScheme, SAMSubScheme
+from .scheme import AccessScheme
+from .subrank import SubRankScheme
+
+_FACTORIES: Dict[str, Callable[..., AccessScheme]] = {
+    "baseline": BaselineScheme,
+    "column-store": ColumnStoreScheme,
+    "SAM-sub": SAMSubScheme,
+    "SAM-IO": SAMIOScheme,
+    "SAM-en": SAMEnScheme,
+    "GS-DRAM": GSDRAMScheme,
+    "GS-DRAM-ecc": GSDRAMEccScheme,
+    "RC-NVM-bit": RCNVMBitScheme,
+    "RC-NVM-wd": RCNVMWordScheme,
+    "sub-rank": SubRankScheme,
+}
+
+#: The designs plotted in Figure 12, in the paper's legend order.
+FIGURE12_DESIGNS = (
+    "RC-NVM-bit",
+    "RC-NVM-wd",
+    "GS-DRAM",
+    "GS-DRAM-ecc",
+    "SAM-sub",
+    "SAM-IO",
+    "SAM-en",
+)
+
+
+def available_schemes() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def make_scheme(
+    name: str,
+    geometry: Optional[Geometry] = None,
+    gather_factor: Optional[int] = None,
+) -> AccessScheme:
+    """Instantiate a design by name.
+
+    ``gather_factor`` sets the strided granularity for stride-capable
+    designs: 8 elements/burst at the 4-bit SSC-DSD granularity (the
+    default of Figure 12), 4 at 8-bit SSC, 2 at 16-bit.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {available_schemes()}"
+        ) from None
+    if name in ("baseline", "column-store", "sub-rank") or (
+        gather_factor is None
+    ):
+        return factory(geometry)
+    return factory(geometry, gather_factor=gather_factor)

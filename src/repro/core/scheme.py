@@ -1,0 +1,234 @@
+"""Access-scheme abstraction.
+
+An :class:`AccessScheme` bundles everything that distinguishes one design
+of the paper's evaluation (baseline, SAM-sub/IO/en, GS-DRAM(-ecc),
+RC-NVM-bit/wd, ideal):
+
+* a *placement* -- where a table's records live in physical memory
+  (Section 5.4.1's alignment strategies drive row hits and bank conflicts),
+* *request lowering* -- how loads, stores, strided loads (``sload``) and
+  strided stores (``sstore``) become memory-controller requests,
+* *traits* -- the qualitative properties of Table 1 (ECC compatibility,
+  critical-word-first, interface modifications, ...),
+* the memory technology (timing preset, scaled by area overhead per
+  Section 6.1) and the power configuration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..area.overhead import AreaReport
+from ..dram.address import AddressMapper
+from ..dram.commands import IOMode, Request, RequestType, RowKind
+from ..dram.geometry import Geometry
+from ..dram.timing import TimingParams, preset
+from ..power.model import PowerConfig
+
+
+@dataclass(frozen=True)
+class SchemeTraits:
+    """The qualitative comparison axes of Table 1."""
+
+    needs_db_alignment: bool = True
+    needs_isa_extension: bool = True
+    needs_sector_cache: bool = True
+    modifies_memory_controller: bool = False
+    modifies_command_interface: bool = False
+    critical_word_first: bool = True
+    ecc_compatible: bool = True
+    mode_switch_delay: bool = False  # pays tRTR on stride entry/exit
+    substrate: str = "DRAM"  # or "NVM"
+
+
+@dataclass
+class GatherPlan:
+    """What one strided access does.
+
+    ``requests`` go to the memory controller (usually one burst; embedded
+    ECC schemes add more).  ``fills`` list the ``(line_addr, sector_mask)``
+    pairs the cache installs when the plan completes.
+    """
+
+    requests: List[Request]
+    fills: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class AccessScheme(abc.ABC):
+    """Base class for all evaluated designs."""
+
+    #: overridden by subclasses
+    name: str = "abstract"
+
+    #: True when one gather burst can only cover elements inside a single
+    #: DRAM row (SAM-IO/en sub-row stride, GS-DRAM intra-row shift); the
+    #: executor derates the effective gather factor for huge records.
+    gather_within_row: bool = False
+
+    #: False for fine-granularity (sub-ranked) designs whose fetches bring
+    #: only the requested sectors instead of the whole 64B line.
+    fetch_fills_whole_line: bool = True
+
+    def __init__(
+        self,
+        geometry: Optional[Geometry] = None,
+        gather_factor: int = 8,
+    ) -> None:
+        self.geometry = geometry or Geometry()
+        self.mapper = AddressMapper(self.geometry)
+        self.gather_factor = gather_factor
+
+    # ------------------------------------------------------------ metadata
+
+    @property
+    @abc.abstractmethod
+    def traits(self) -> SchemeTraits:
+        """Table 1 row for this design."""
+
+    @property
+    @abc.abstractmethod
+    def area(self) -> AreaReport:
+        """Silicon/storage overhead (Figure 14(c))."""
+
+    @property
+    def supports_stride(self) -> bool:
+        """True when the design accelerates strided accesses in hardware."""
+        return self.gather_factor > 1
+
+    @property
+    def sector_bytes(self) -> int:
+        """Size of one strided element (= one cache sector)."""
+        line = self.geometry.cacheline_bytes
+        return line // self.gather_factor if self.supports_stride else line // 4
+
+    @property
+    def sectors_per_line(self) -> int:
+        return self.geometry.cacheline_bytes // self.sector_bytes
+
+    def base_timing(self) -> TimingParams:
+        return preset("DDR4-2400")
+
+    @property
+    def timing(self) -> TimingParams:
+        """Device timing, with array latencies scaled by area overhead
+        (Section 6.1: latency grows proportionally to the core area)."""
+        base = self.base_timing()
+        overhead = self.area.silicon_fraction
+        if overhead < 0.005:
+            return base
+        return base.scaled(f"{base.name}+{self.name}", 1.0 + overhead)
+
+    @property
+    def power_config(self) -> PowerConfig:
+        return PowerConfig(name=self.name)
+
+    # ------------------------------------------------------------ placement
+
+    @abc.abstractmethod
+    def placement(self, table: "TablePlacement") -> "Placement":
+        """Bind a table's records to physical addresses."""
+
+    # ------------------------------------------------------------- lowering
+
+    def lower_read(self, line_addr: int) -> List[Request]:
+        """A regular 64B demand read.  Designs that keep the default data
+        layout deliver the critical word first (early restart)."""
+        return [
+            Request(
+                addr=self.mapper.decode(line_addr),
+                type=RequestType.READ,
+                early_restart=self.traits.critical_word_first,
+            )
+        ]
+
+    def lower_write(self, line_addr: int) -> List[Request]:
+        """A regular 64B writeback / streaming store."""
+        return [
+            Request(
+                addr=self.mapper.decode(line_addr),
+                type=RequestType.WRITE,
+                critical=False,
+            )
+        ]
+
+    def lower_gather_read(
+        self, element_addrs: Sequence[int]
+    ) -> Optional[GatherPlan]:
+        """A strided load group; None when the design has no stride mode."""
+        return None
+
+    def lower_gather_write(
+        self, element_addrs: Sequence[int]
+    ) -> Optional[GatherPlan]:
+        """A strided store group; None when unsupported."""
+        return None
+
+    # -------------------------------------------------------------- helpers
+
+    def _sector_fill(self, element_addr: int) -> Tuple[int, int]:
+        """(line_addr, sector_mask) for one strided element."""
+        line = self.mapper.line_address(element_addr)
+        offset = element_addr - line
+        sector = offset // self.sector_bytes
+        return line, 1 << sector
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+@dataclass(frozen=True)
+class TablePlacement:
+    """Static shape of one table region in memory."""
+
+    base: int  # row-aligned physical base address
+    record_bytes: int
+    n_records: int
+
+    def __post_init__(self) -> None:
+        if self.base % 64:
+            raise ValueError("table base must be cacheline aligned")
+        if self.record_bytes <= 0 or self.n_records <= 0:
+            raise ValueError("empty table placement")
+
+
+class Placement(abc.ABC):
+    """Maps (record, byte offset) to a flat physical address."""
+
+    #: True when consecutive bytes of one record are physically contiguous
+    #: (at least within a cacheline) -- multi-field loads may then be
+    #: merged into one span.  Column-major placements scatter fields into
+    #: separate regions and must load field by field.
+    contiguous_records = True
+
+    def __init__(self, table: TablePlacement, scheme: AccessScheme) -> None:
+        self.table = table
+        self.scheme = scheme
+
+    @abc.abstractmethod
+    def addr_of(self, record: int, offset: int) -> int:
+        """Physical address of byte ``offset`` of ``record``."""
+
+    @property
+    def partition_granularity(self) -> int:
+        """Smallest record chunk that keeps parallel workers on separate
+        banks (vertical placements stack a whole group in one bank)."""
+        return self.scheme.gather_factor
+
+    def gather_group(self, record: int) -> Tuple[int, int]:
+        """(first record, size) of the stride group containing ``record``."""
+        g = self.scheme.gather_factor
+        return (record - record % g, min(g, self.table.n_records))
+
+    def element_addrs(self, first_record: int, count: int,
+                      offset: int) -> List[int]:
+        """Addresses of one field slice across a gather group."""
+        return [
+            self.addr_of(first_record + i, offset) for i in range(count)
+        ]
+
+    @property
+    def footprint(self) -> int:
+        """Bytes of address space the table occupies."""
+        return self.table.record_bytes * self.table.n_records

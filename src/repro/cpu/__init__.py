@@ -1,0 +1,17 @@
+"""CPU front end: scan cores, memory-op streams, sload/sstore ISA hooks."""
+
+from . import isa
+from .core import Core, CoreConfig
+from .ops import Compute, GatherLoad, GatherStore, Load, MemOp, Store
+
+__all__ = [
+    "isa",
+    "Core",
+    "CoreConfig",
+    "Compute",
+    "GatherLoad",
+    "GatherStore",
+    "Load",
+    "MemOp",
+    "Store",
+]

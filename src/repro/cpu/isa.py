@@ -1,0 +1,64 @@
+"""The ``sload`` / ``sstore`` ISA extension (Section 5.1.2).
+
+Two instructions inform the memory controller to enter stride mode via the
+C/A bus:
+
+    sload  reg, addr
+    sstore reg, addr
+
+We model them as a tiny fixed-width encoding so the software stack
+(executor -> core -> controller) exercises a realistic decode path, and so
+tests can check round-tripping.  Encoding (64 bits):
+
+    [63:56] opcode   (0x5A sload, 0x5B sstore)
+    [55:48] register (0..255)
+    [47: 0] address  (48-bit physical address)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+OPCODE_SLOAD = 0x5A
+OPCODE_SSTORE = 0x5B
+
+_ADDR_MASK = (1 << 48) - 1
+
+
+@dataclass(frozen=True)
+class StrideInstruction:
+    """A decoded sload/sstore."""
+
+    opcode: int
+    register: int
+    address: int
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode == OPCODE_SLOAD
+
+    @property
+    def mnemonic(self) -> str:
+        return "sload" if self.is_load else "sstore"
+
+
+def encode(mnemonic: str, register: int, address: int) -> int:
+    """Encode an sload/sstore into its 64-bit form."""
+    opcode = {"sload": OPCODE_SLOAD, "sstore": OPCODE_SSTORE}.get(mnemonic)
+    if opcode is None:
+        raise ValueError(f"unknown stride mnemonic {mnemonic!r}")
+    if not 0 <= register < 256:
+        raise ValueError(f"register {register} out of range")
+    if not 0 <= address <= _ADDR_MASK:
+        raise ValueError(f"address {address:#x} exceeds 48 bits")
+    return (opcode << 56) | (register << 48) | address
+
+
+def decode(word: int) -> StrideInstruction:
+    """Decode a 64-bit instruction word; raises on unknown opcodes."""
+    opcode = (word >> 56) & 0xFF
+    if opcode not in (OPCODE_SLOAD, OPCODE_SSTORE):
+        raise ValueError(f"not a stride instruction (opcode {opcode:#x})")
+    register = (word >> 48) & 0xFF
+    address = word & _ADDR_MASK
+    return StrideInstruction(opcode, register, address)

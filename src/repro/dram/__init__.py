@@ -1,0 +1,39 @@
+"""Cycle-level and functional models of the DDR4/RRAM memory substrate.
+
+Timing path: :class:`~repro.dram.controller.MemoryController` schedules
+:class:`~repro.dram.commands.Request` objects against the bank/rank/channel
+state machines under FR-FCFS + open-page (Table 2 of the paper).
+
+Functional path: :class:`~repro.dram.datapath.RankDatapath` moves real bits
+through the common-die I/O buffers of :mod:`repro.dram.iobuffer` to verify
+SAM's gather semantics.
+"""
+
+from .address import AddressMapper, DecodedAddress
+from .commands import Command, IOMode, Request, RequestType, RowKind
+from .controller import CommandStats, ControllerConfig, MemoryController
+from .datapath import RankDatapath
+from .geometry import DEFAULT_GEOMETRY, Geometry
+from .iobuffer import IOModeRegister
+from .timing import DDR4_2400, RRAM, TimingParams, preset
+
+__all__ = [
+    "AddressMapper",
+    "DecodedAddress",
+    "Command",
+    "IOMode",
+    "Request",
+    "RequestType",
+    "RowKind",
+    "CommandStats",
+    "ControllerConfig",
+    "MemoryController",
+    "RankDatapath",
+    "DEFAULT_GEOMETRY",
+    "Geometry",
+    "IOModeRegister",
+    "DDR4_2400",
+    "RRAM",
+    "TimingParams",
+    "preset",
+]

@@ -1,0 +1,97 @@
+"""Physical address mapping.
+
+The memory controller of Table 2 uses the ``rw:rk:bk:ch:cl:offset`` order
+(most-significant field first).  :class:`AddressMapper` turns a flat byte
+address into a :class:`DecodedAddress` and back.  The stride-mode remapping
+of Figure 10 lives in :mod:`repro.vm.stride_mapping`; this module only
+implements the controller-side interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .geometry import Geometry
+
+
+def _log2_exact(value: int, what: str) -> int:
+    bits = value.bit_length() - 1
+    if value <= 0 or (1 << bits) != value:
+        raise ValueError(f"{what} must be a power of two, got {value}")
+    return bits
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """An address broken into its device coordinates."""
+
+    channel: int
+    rank: int
+    bank: int  # flat bank index within the rank (0..15)
+    row: int
+    column: int  # cacheline index within the row
+    offset: int  # byte offset within the cacheline
+
+    @property
+    def bank_group(self) -> int:
+        return self.bank >> 2
+
+    def line_key(self) -> tuple:
+        """Identity of the 64B line, ignoring the intra-line offset."""
+        return (self.channel, self.rank, self.bank, self.row, self.column)
+
+
+class AddressMapper:
+    """Encode/decode flat physical addresses per the rw:rk:bk:ch:cl:offset map."""
+
+    def __init__(self, geometry: Geometry | None = None) -> None:
+        self.geometry = geometry or Geometry()
+        g = self.geometry
+        self.offset_bits = _log2_exact(g.cacheline_bytes, "cacheline size")
+        self.column_bits = _log2_exact(g.lines_per_row, "lines per row")
+        self.channel_bits = _log2_exact(g.channels, "channel count")
+        self.bank_bits = _log2_exact(g.banks, "bank count")
+        self.rank_bits = _log2_exact(g.ranks, "rank count")
+        self.row_bits = _log2_exact(g.rows_per_bank, "rows per bank")
+        self.total_bits = (
+            self.offset_bits
+            + self.column_bits
+            + self.channel_bits
+            + self.bank_bits
+            + self.rank_bits
+            + self.row_bits
+        )
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Split a flat byte address into device coordinates."""
+        if address < 0:
+            raise ValueError(f"negative address {address}")
+        a = address
+        offset = a & ((1 << self.offset_bits) - 1)
+        a >>= self.offset_bits
+        column = a & ((1 << self.column_bits) - 1)
+        a >>= self.column_bits
+        channel = a & ((1 << self.channel_bits) - 1)
+        a >>= self.channel_bits
+        bank = a & ((1 << self.bank_bits) - 1)
+        a >>= self.bank_bits
+        rank = a & ((1 << self.rank_bits) - 1)
+        a >>= self.rank_bits
+        row = a
+        if row >= self.geometry.rows_per_bank:
+            row %= self.geometry.rows_per_bank
+        return DecodedAddress(channel, rank, bank, row, column, offset)
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Rebuild the flat byte address from device coordinates."""
+        a = decoded.row
+        a = (a << self.rank_bits) | decoded.rank
+        a = (a << self.bank_bits) | decoded.bank
+        a = (a << self.channel_bits) | decoded.channel
+        a = (a << self.column_bits) | decoded.column
+        a = (a << self.offset_bits) | decoded.offset
+        return a
+
+    def line_address(self, address: int) -> int:
+        """Round an address down to its cacheline base."""
+        return address & ~(self.geometry.cacheline_bytes - 1)

@@ -1,0 +1,87 @@
+"""Per-bank timing state machine.
+
+Each bank tracks its open row (which may be a row-wise row or, for SAM-sub /
+RC-NVM, a column-wise subarray) and the earliest times the next command of
+each kind may issue.  The constraints are updated as commands issue; the
+controller asks :meth:`earliest` before issuing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .commands import Command, RowKind
+from .timing import TimingParams
+
+FOREVER = 1 << 60
+
+
+@dataclass
+class BankState:
+    """Timing state of one bank."""
+
+    timing: TimingParams
+    open_row: Optional[Tuple[RowKind, int]] = None
+    next_act: int = 0
+    next_read: int = 0
+    next_write: int = 0
+    next_pre: int = 0
+    last_act: int = -FOREVER
+    # Statistics
+    activations: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+
+    def is_open(self, row: Tuple[RowKind, int]) -> bool:
+        return self.open_row == row
+
+    def earliest(self, cmd: Command) -> int:
+        """Earliest cycle this bank allows ``cmd`` to issue."""
+        if cmd in (Command.ACT, Command.ACT_COL):
+            return self.next_act
+        if cmd is Command.RD:
+            return self.next_read
+        if cmd is Command.WR:
+            return self.next_write
+        if cmd is Command.PRE:
+            return self.next_pre
+        raise ValueError(f"bank does not gate {cmd}")
+
+    def issue_act(self, now: int, row: Tuple[RowKind, int]) -> None:
+        t = self.timing
+        self.open_row = row
+        self.last_act = now
+        self.activations += 1
+        self.next_read = max(self.next_read, now + t.tRCD)
+        self.next_write = max(self.next_write, now + t.tRCD)
+        self.next_pre = max(self.next_pre, now + t.tRAS)
+        self.next_act = FOREVER  # must precharge before the next ACT
+
+    def issue_read(self, now: int, extra_internal: int = 0) -> None:
+        """Account a column read; ``extra_internal`` extends the column path
+        occupancy for multi-internal-burst gathers (RC-NVM-bit etc.)."""
+        t = self.timing
+        tail = extra_internal * t.tCCD_L
+        self.next_read = max(self.next_read, now + t.tCCD_L + tail)
+        self.next_write = max(self.next_write, now + t.tCCD_L + tail)
+        self.next_pre = max(self.next_pre, now + t.tRTP + tail)
+
+    def issue_write(self, now: int, extra_internal: int = 0) -> None:
+        t = self.timing
+        tail = extra_internal * t.tCCD_L
+        self.next_read = max(self.next_read, now + t.tCCD_L + tail)
+        self.next_write = max(self.next_write, now + t.tCCD_L + tail)
+        # write recovery: data lands at now+CWL..now+CWL+tBL, then tWR
+        self.next_pre = max(self.next_pre, now + t.CWL + t.tBL + t.tWR + tail)
+
+    def issue_pre(self, now: int) -> None:
+        t = self.timing
+        self.open_row = None
+        self.next_act = max(0, now + t.tRP)
+
+    def force_close(self, now: int) -> None:
+        """Close the row as part of a refresh."""
+        if self.open_row is not None:
+            self.issue_pre(now)

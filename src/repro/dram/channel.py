@@ -1,0 +1,94 @@
+"""Per-channel shared-resource state: the command bus (one command per
+cycle) and the data bus (one burst at a time, with rank-switch and
+read/write-turnaround bubbles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .commands import Command, RequestType
+from .geometry import Geometry
+from .rank import RankState
+from .timing import TimingParams
+
+
+@dataclass
+class ChannelState:
+    """Timing state of one channel."""
+
+    timing: TimingParams
+    geometry: Geometry
+    ranks: List[RankState] = field(default_factory=list)
+    next_command: int = 0  # command bus: one command per cycle
+    data_free: int = 0  # first cycle the full-width data bus is free
+    last_data_rank: int = -1
+    last_data_type: Optional[RequestType] = None
+    #: sub-bus occupancy for fine-granularity (AGMS/DGMS) transfers:
+    #: (rank, subrank) -> first free cycle.  A sub-rank transfer uses one
+    #: quarter of the pins, so transfers from different sub-ranks overlap;
+    #: a full-width transfer must wait for every sub-bus and vice versa.
+    subbus_free: dict = field(default_factory=dict)
+    # Statistics
+    data_busy_cycles: int = 0
+    commands_issued: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            self.ranks = [
+                RankState(self.timing, self.geometry)
+                for _ in range(self.geometry.ranks)
+            ]
+
+    def _max_subbus_free(self) -> int:
+        return max(self.subbus_free.values(), default=0)
+
+    def earliest_cas_for_bus(
+        self, cmd: Command, rank: int, req_type: RequestType,
+        subrank: Optional[int] = None,
+    ) -> int:
+        """Earliest CAS issue time such that its data burst fits the bus.
+
+        A read's data occupies ``[t+CL, t+CL+tBL)``; a write's
+        ``[t+CWL, t+CWL+tBL)``.  Bubbles: tRTR when the burst comes from a
+        different rank than the previous one, tRTW when the bus turns from
+        reads to writes or back.  Sub-rank transfers only conflict with
+        their own sub-bus (and any full-width transfer in flight).
+        """
+        t = self.timing
+        latency = t.CL if cmd is Command.RD else t.CWL
+        gap = 0
+        if self.last_data_rank >= 0 and self.last_data_rank != rank:
+            gap = max(gap, t.tRTR)
+        if self.last_data_type is not None and self.last_data_type != req_type:
+            gap = max(gap, t.tRTW)
+        if subrank is None:
+            busy = max(self.data_free, self._max_subbus_free())
+        else:
+            busy = max(
+                self.data_free, self.subbus_free.get((rank, subrank), 0)
+            )
+        earliest_data = busy + gap
+        return max(0, earliest_data - latency)
+
+    def issue_cas(self, now: int, cmd: Command, rank: int,
+                  req_type: RequestType,
+                  subrank: Optional[int] = None) -> int:
+        """Record a CAS issue; returns the cycle its data transfer ends."""
+        t = self.timing
+        latency = t.CL if cmd is Command.RD else t.CWL
+        data_start = now + latency
+        data_end = data_start + t.tBL
+        if subrank is None:
+            self.data_free = data_end
+            self.data_busy_cycles += t.tBL
+        else:
+            self.subbus_free[(rank, subrank)] = data_end
+            self.data_busy_cycles += t.tBL  # quarter-width, full duration
+        self.last_data_rank = rank
+        self.last_data_type = req_type
+        return data_end
+
+    def occupy_command_bus(self, now: int) -> None:
+        self.next_command = now + 1
+        self.commands_issued += 1

@@ -1,0 +1,393 @@
+"""Cycle-level memory controller.
+
+One :class:`MemoryController` owns one channel and schedules commands with
+the FR-FCFS policy under an open-page row-buffer policy (Table 2).  Writes
+are buffered in a write queue (capacity 32) and drained when the queue
+crosses a high watermark or when no reads are pending.
+
+SAM support: every request carries the I/O mode it needs (regular ``x4`` or
+stride ``Sx4``).  When the targeted rank is in the wrong mode the controller
+issues an MRS command first, which stalls the rank for tMOD_IO (= tRTR,
+Section 5.3).  Column-wise activations (SAM-sub / RC-NVM) are ACT_COL
+commands: they occupy the bank exactly like a row activation but open a
+"column row", so row-wise and column-wise accesses to the same bank conflict
+in the row buffer -- the effect that degrades SAM-sub and RC-NVM on
+row-friendly (Qs) queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..kernel import Kernel
+from .bank import FOREVER
+from .channel import ChannelState
+from .commands import Command, IOMode, Request, RequestType
+from .geometry import Geometry
+from .timing import TimingParams
+
+
+@dataclass
+class ControllerConfig:
+    """Scheduling knobs (defaults per Table 2)."""
+
+    write_queue_capacity: int = 32
+    write_high_watermark: int = 24
+    write_low_watermark: int = 8
+    read_queue_capacity: int = 64
+    refresh_enabled: bool = True
+    #: "open" (Table 2 default) keeps rows open for FR-FCFS row hits;
+    #: "closed" auto-precharges after every column command (RDA/WRA).
+    page_policy: str = "open"
+
+
+@dataclass
+class CommandStats:
+    """Counts consumed by the power model and the experiment reports."""
+
+    acts: int = 0
+    col_acts: int = 0
+    reads: int = 0
+    writes: int = 0
+    gather_reads: int = 0
+    gather_writes: int = 0
+    stride_mode_reads: int = 0  # reads served in an Sx4 mode (SAM-IO power)
+    internal_bursts: int = 0
+    precharges: int = 0
+    refreshes: int = 0
+    mode_switches: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    read_latency_total: int = 0
+    read_count_for_latency: int = 0
+
+    @property
+    def avg_read_latency(self) -> float:
+        if not self.read_count_for_latency:
+            return 0.0
+        return self.read_latency_total / self.read_count_for_latency
+
+
+class MemoryController:
+    """FR-FCFS, open-page controller for a single channel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        timing: TimingParams,
+        geometry: Geometry | None = None,
+        config: ControllerConfig | None = None,
+        channel_id: int = 0,
+    ) -> None:
+        self.kernel = kernel
+        self.timing = timing
+        self.geometry = geometry or Geometry()
+        self.config = config or ControllerConfig()
+        self.channel_id = channel_id
+        self.channel = ChannelState(timing, self.geometry)
+        #: optional command observer: called as (cycle, command, request)
+        #: on every issued command (request is None for REF).  Used by
+        #: repro.sim.trace; keep it None for full-speed runs.
+        self.observer = None
+        self.read_queue: List[Request] = []
+        self.write_queue: List[Request] = []
+        self.stats = CommandStats()
+        self._draining_writes = False
+        self._wakeup_at: Optional[int] = None
+        self._last_cas_group: Optional[Tuple[int, int]] = None
+        self._next_refresh = [
+            timing.tREFI * (i + 1) // max(1, self.geometry.ranks)
+            for i in range(self.geometry.ranks)
+        ]
+
+    # ------------------------------------------------------------------ API
+
+    def submit(self, request: Request) -> None:
+        """Accept a request.  Raises if the relevant queue is full; callers
+        should consult :meth:`can_accept` first."""
+        if not self.can_accept(request):
+            raise RuntimeError("memory controller queue full")
+        request.arrival = self.kernel.now
+        if request.is_read:
+            self.read_queue.append(request)
+        else:
+            self.write_queue.append(request)
+        self._schedule_wakeup(self.kernel.now)
+
+    def can_accept(self, request: Request) -> bool:
+        if request.is_read:
+            return len(self.read_queue) < self.config.read_queue_capacity
+        return len(self.write_queue) < self.config.write_queue_capacity
+
+    def idle(self) -> bool:
+        return not self.read_queue and not self.write_queue
+
+    # ------------------------------------------------------ scheduling core
+
+    def _schedule_wakeup(self, when: int) -> None:
+        when = max(when, self.kernel.now)
+        if self._wakeup_at is not None and self._wakeup_at <= when:
+            return
+        self._wakeup_at = when
+        self.kernel.schedule_at(when, self._wakeup)
+
+    def _wakeup(self) -> None:
+        # Drop stale events: only the event matching the armed time acts.
+        # (When an earlier wake-up is scheduled over a pending later one,
+        # the later event still fires; acting on it would fork a second
+        # self-perpetuating wake-up chain.)
+        if self._wakeup_at != self.kernel.now:
+            return
+        self._wakeup_at = None
+        next_time = self._try_issue(self.kernel.now)
+        if next_time is not None:
+            self._schedule_wakeup(next_time)
+
+    def _refresh_due(self, now: int) -> Optional[int]:
+        """Rank index whose refresh deadline has passed, if any."""
+        if not self.config.refresh_enabled or self.timing.tREFI <= 0:
+            return None
+        for rank_id, deadline in enumerate(self._next_refresh):
+            if now >= deadline:
+                return rank_id
+        return None
+
+    def _try_issue(self, now: int) -> Optional[int]:
+        """Issue at most one command; return the next wake-up time."""
+        if self.channel.next_command > now:
+            return self.channel.next_command
+
+        rank_id = self._refresh_due(now)
+        if rank_id is not None:
+            return self._issue_refresh_step(now, rank_id)
+
+        queue = self._active_queue()
+        if queue is None:
+            return self._next_refresh_deadline()
+
+        choice = self._frfcfs_choose(now, queue)
+        if choice is None:
+            return self._next_refresh_deadline()
+        request, command, earliest = choice
+        if earliest > now:
+            return min(earliest, self._next_refresh_deadline() or FOREVER)
+        self._issue(now, request, command, queue)
+        return now + 1 if (self.read_queue or self.write_queue) else None
+
+    def _next_refresh_deadline(self) -> Optional[int]:
+        if not self.config.refresh_enabled or self.timing.tREFI <= 0:
+            return None
+        if self.idle():
+            return None  # nothing to do; refresh bookkeeping resumes on submit
+        return min(self._next_refresh)
+
+    def _active_queue(self) -> Optional[List[Request]]:
+        """Pick the queue to serve, honouring write-drain watermarks."""
+        cfg = self.config
+        if self._draining_writes:
+            if len(self.write_queue) <= cfg.write_low_watermark:
+                self._draining_writes = False
+            else:
+                return self.write_queue
+        if len(self.write_queue) >= cfg.write_high_watermark:
+            self._draining_writes = True
+            return self.write_queue
+        if self.read_queue:
+            return self.read_queue
+        if self.write_queue:
+            return self.write_queue
+        return None
+
+    def _frfcfs_choose(
+        self, now: int, queue: List[Request]
+    ) -> Optional[Tuple[Request, Command, int]]:
+        """FR-FCFS: first ready row-hit column command, else oldest ready
+        command; if nothing is ready now, the soonest candidate."""
+        ready_cas: Optional[Tuple[Request, Command, int]] = None
+        ready_other: Optional[Tuple[Request, Command, int]] = None
+        future: Optional[Tuple[Request, Command, int]] = None
+        for index, request in enumerate(queue):
+            command, earliest = self._next_command(now, request)
+            if command is Command.MRS and index > 0:
+                # Only the oldest request may flip the rank's I/O mode;
+                # otherwise requests needing different modes thrash MRS
+                # while waiting out tRCD.  Skipped candidates are retried
+                # whenever the oldest request makes progress.
+                continue
+            if earliest <= now:
+                if command in (Command.RD, Command.WR):
+                    # Bank-group rotation: a CAS to a different bank group
+                    # than the previous one runs at tCCD_S instead of
+                    # tCCD_L, so prefer it over the oldest ready CAS.
+                    group = (request.addr.rank, request.addr.bank_group)
+                    if group != self._last_cas_group:
+                        return (request, command, earliest)
+                    if ready_cas is None:
+                        ready_cas = (request, command, earliest)
+                elif ready_other is None:
+                    ready_other = (request, command, earliest)
+            elif future is None or earliest < future[2]:
+                future = (request, command, earliest)
+        if ready_cas is not None:
+            return ready_cas
+        return ready_other if ready_other is not None else future
+
+    def _next_command(self, now: int, request: Request) -> Tuple[Command, int]:
+        """The next command ``request`` needs and its earliest issue time."""
+        rank = self.channel.ranks[request.addr.rank]
+        bank = rank.banks[request.addr.bank]
+        bus_floor = max(now, self.channel.next_command)
+
+        if rank.ensure_mode(request.io_mode):
+            # An MRS can issue once the rank's in-flight CAS work is done
+            # and the data bus has drained (the switch flips DQ drivers).
+            earliest = max(
+                bus_floor,
+                rank.busy_until,
+                rank.next_read,
+                rank.next_write,
+                self.channel.data_free,
+            )
+            return (Command.MRS, earliest)
+
+        needed = request.row_id()
+        if bank.open_row == needed:
+            cmd = Command.RD if request.is_read else Command.WR
+            req_type = (
+                RequestType.READ if request.is_read else RequestType.WRITE
+            )
+            earliest = max(
+                bus_floor,
+                bank.earliest(cmd),
+                rank.earliest_cas(cmd),
+                self.channel.earliest_cas_for_bus(
+                    cmd, request.addr.rank, req_type, request.subrank
+                ),
+            )
+            return (cmd, earliest)
+        if bank.open_row is None:
+            cmd = (
+                Command.ACT
+                if needed[0].value == "row"
+                else Command.ACT_COL
+            )
+            earliest = max(
+                bus_floor,
+                bank.earliest(Command.ACT),
+                rank.earliest_act(now, request.addr.bank_group),
+            )
+            return (cmd, earliest)
+        # row conflict: precharge first
+        earliest = max(bus_floor, bank.earliest(Command.PRE), rank.busy_until)
+        return (Command.PRE, earliest)
+
+    # ------------------------------------------------------------- issuing
+
+    def _issue(
+        self, now: int, request: Request, command: Command, queue: List[Request]
+    ) -> None:
+        rank = self.channel.ranks[request.addr.rank]
+        bank = rank.banks[request.addr.bank]
+        self.channel.occupy_command_bus(now)
+        if self.observer is not None:
+            self.observer(now, command, request)
+
+        if command is Command.MRS:
+            rank.issue_mode_switch(now, request.io_mode)
+            self.stats.mode_switches += 1
+            return
+        if command is Command.PRE:
+            bank.issue_pre(now)
+            self.stats.precharges += 1
+            self.stats.row_conflicts += 1
+            bank.row_conflicts += 1
+            return
+        if command in (Command.ACT, Command.ACT_COL):
+            bank.issue_act(now, request.row_id())
+            rank.issue_act(now, request.addr.bank_group)
+            if command is Command.ACT_COL:
+                self.stats.col_acts += 1
+            else:
+                self.stats.acts += 1
+            self.stats.row_misses += 1
+            bank.row_misses += 1
+            return
+
+        # Column command: the request completes.
+        req_type = RequestType.READ if request.is_read else RequestType.WRITE
+        if command is Command.RD:
+            bank.issue_read(now, request.internal_bursts)
+            rank.issue_read(now)
+        else:
+            bank.issue_write(now, request.internal_bursts)
+            rank.issue_write(now)
+        data_end = self.channel.issue_cas(
+            now, command, request.addr.rank, req_type, request.subrank
+        )
+        self._last_cas_group = (request.addr.rank, request.addr.bank_group)
+        if self.config.page_policy == "closed":
+            # auto-precharge (RDA/WRA): the row closes once tRTP/tWR allow
+            bank.issue_pre(bank.earliest(Command.PRE))
+            self.stats.precharges += 1
+        self._account_cas(request, command)
+        self.stats.row_hits += 1
+        bank.row_hits += 1
+        queue.remove(request)
+        request.issue_time = now
+        # critical-word-first: the demanded word lands mid-burst, so the
+        # waiting load restarts before the burst completes
+        complete_at = data_end
+        if request.early_restart and request.is_read and request.critical:
+            complete_at = data_end - self.timing.tBL // 2
+        request.finish_time = complete_at
+        if request.is_read:
+            self.stats.read_latency_total += complete_at - request.arrival
+            self.stats.read_count_for_latency += 1
+        if request.on_complete is not None:
+            callback = request.on_complete
+            self.kernel.schedule_at(
+                complete_at, lambda r=request, t=complete_at: callback(r, t)
+            )
+
+    def _account_cas(self, request: Request, command: Command) -> None:
+        s = self.stats
+        s.internal_bursts += request.internal_bursts
+        if command is Command.RD:
+            s.reads += 1
+            if request.is_gather:
+                s.gather_reads += 1
+            if request.io_mode is IOMode.STRIDE:
+                s.stride_mode_reads += 1
+        else:
+            s.writes += 1
+            if request.is_gather:
+                s.gather_writes += 1
+
+    def _issue_refresh_step(self, now: int, rank_id: int) -> Optional[int]:
+        """Progress the pending refresh of ``rank_id`` by one command."""
+        rank = self.channel.ranks[rank_id]
+        if rank.busy_until > now:
+            return rank.busy_until
+        if not rank.all_banks_precharged():
+            # precharge the first open bank that is allowed to close
+            soonest = FOREVER
+            for bank in rank.banks:
+                if bank.open_row is None:
+                    continue
+                ready = bank.earliest(Command.PRE)
+                if ready <= now:
+                    self.channel.occupy_command_bus(now)
+                    bank.issue_pre(now)
+                    self.stats.precharges += 1
+                    return now + 1
+                soonest = min(soonest, ready)
+            return soonest
+        self.channel.occupy_command_bus(now)
+        if self.observer is not None:
+            self.observer(now, Command.REF, None)
+        rank.issue_refresh(now)
+        self.stats.refreshes += 1
+        self._next_refresh[rank_id] += self.timing.tREFI
+        return now + 1

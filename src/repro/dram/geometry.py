@@ -1,0 +1,79 @@
+"""Memory organization (Table 2 of the paper).
+
+The simulated module is a server-class DDR4 DIMM: one channel, two ranks,
+each rank built from sixteen x4 data chips plus two x4 parity chips (the
+SSC/SSC-DSD chipkill organizations of Section 2.3).  Each chip has 16 banks
+in 4 bank groups; each bank has 256 subarrays of 512 rows with a 4 Kb local
+row buffer per chip, i.e. an 8 KB row per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Static organization of the simulated memory module."""
+
+    channels: int = 1
+    ranks: int = 2
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    data_chips: int = 16
+    parity_chips: int = 2
+    chip_io_bits: int = 4  # x4 chips
+    subarrays_per_bank: int = 256
+    rows_per_subarray: int = 512
+    chip_row_bits: int = 4096  # 4 Kb local row buffer per chip
+    burst_length: int = 8
+    cacheline_bytes: int = 64
+
+    @property
+    def banks(self) -> int:
+        """Banks per rank."""
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def chips(self) -> int:
+        """Total chips per rank (data + parity)."""
+        return self.data_chips + self.parity_chips
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def row_bytes(self) -> int:
+        """Data bytes in one rank-level row (excluding parity chips)."""
+        return self.chip_row_bits // 8 * self.data_chips
+
+    @property
+    def lines_per_row(self) -> int:
+        """64B cachelines per rank-level row."""
+        return self.row_bytes // self.cacheline_bytes
+
+    @property
+    def data_bus_bits(self) -> int:
+        """Data pins across the data chips (64 for 16 x4 chips)."""
+        return self.data_chips * self.chip_io_bits
+
+    @property
+    def bytes_per_burst(self) -> int:
+        """Data bytes moved by one burst (one cacheline)."""
+        return self.data_bus_bits * self.burst_length // 8
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total data capacity of the module."""
+        return (
+            self.channels
+            * self.ranks
+            * self.banks
+            * self.rows_per_bank
+            * self.row_bytes
+        )
+
+
+#: Default geometry of Table 2.
+DEFAULT_GEOMETRY = Geometry()

@@ -1,0 +1,86 @@
+"""Hsiao SEC-DED (72, 64) code -- the desktop ECC of Figure 4(a).
+
+Single-bit errors are corrected, double-bit errors detected.  We build an
+odd-weight-column (Hsiao) parity-check matrix: 8 check bits, 72 columns.
+Check-bit columns are weight-1 (identity); the 64 data columns are distinct
+odd-weight (>= 3) 8-bit vectors.  Odd-weight columns give the classic Hsiao
+property: any double error has an even-weight (hence nonzero, non-column)
+syndrome, so it is never miscorrected as a single error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+DATA_BITS = 64
+CHECK_BITS = 8
+CODE_BITS = DATA_BITS + CHECK_BITS
+
+
+def _build_columns() -> List[int]:
+    """72 distinct odd-weight 8-bit columns: identity first, then weight-3
+    and weight-5 vectors for the data bits."""
+    columns = [1 << i for i in range(CHECK_BITS)]
+    for weight in (3, 5):
+        for combo in combinations(range(CHECK_BITS), weight):
+            value = 0
+            for bit in combo:
+                value |= 1 << bit
+            columns.append(value)
+            if len(columns) == CODE_BITS:
+                return columns
+    raise AssertionError("not enough odd-weight columns")
+
+
+_COLUMNS = _build_columns()
+_CHECK_COLUMNS = _COLUMNS[:CHECK_BITS]
+_DATA_COLUMNS = _COLUMNS[CHECK_BITS:]
+_SYNDROME_TO_POSITION = {col: i for i, col in enumerate(_COLUMNS)}
+
+
+class DoubleError(Exception):
+    """A double-bit error was detected (uncorrectable by SEC-DED)."""
+
+
+@dataclass(frozen=True)
+class SecDedResult:
+    data: int  # corrected 64-bit data word
+    corrected_bit: Optional[int]  # codeword bit index fixed, or None
+
+
+def encode(data: int) -> Tuple[int, int]:
+    """Return ``(data, check)`` for a 64-bit word."""
+    if not 0 <= data < (1 << DATA_BITS):
+        raise ValueError("data must be a 64-bit value")
+    check = 0
+    for bit in range(DATA_BITS):
+        if (data >> bit) & 1:
+            check ^= _DATA_COLUMNS[bit]
+    return data, check
+
+
+def syndrome(data: int, check: int) -> int:
+    s = check
+    for bit in range(DATA_BITS):
+        if (data >> bit) & 1:
+            s ^= _DATA_COLUMNS[bit]
+    return s
+
+
+def decode(data: int, check: int) -> SecDedResult:
+    """Correct a single-bit error; raise :class:`DoubleError` on doubles."""
+    s = syndrome(data, check)
+    if s == 0:
+        return SecDedResult(data, None)
+    if bin(s).count("1") % 2 == 0:
+        raise DoubleError(f"even-weight syndrome {s:#04x}: double-bit error")
+    position = _SYNDROME_TO_POSITION.get(s)
+    if position is None:
+        # odd-weight syndrome not matching any column: >= 3 errors
+        raise DoubleError(f"unmatched syndrome {s:#04x}: multi-bit error")
+    if position < CHECK_BITS:
+        return SecDedResult(data, position)  # error was in a check bit
+    data_bit = position - CHECK_BITS
+    return SecDedResult(data ^ (1 << data_bit), position)

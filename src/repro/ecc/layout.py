@@ -1,0 +1,127 @@
+"""Codeword-to-transfer layout analysis (Figures 4 and 5).
+
+The reliability argument of the paper is *structural*: a transfer is
+chipkill-protectable only if it carries complete codewords -- every data
+symbol together with its parity symbols, all sourced from addresses the
+parity actually covers.  This module models a memory transfer as the set of
+``(chip, beat, line)`` cells it moves and decides, per access scheme,
+whether codeword integrity holds:
+
+* Regular 64B transfers: 4 complete SSC codewords (2 beats each) -- fine.
+* SAM-sub / SAM-en gathers: each strided element is one whole codeword
+  transmitted by all 18 chips in tandem -- fine (Section 4.1).
+* SAM-IO gathers: the SSC-variant layout keeps each lane a whole symbol --
+  fine, with the transposed-codeword caveat (Section 4.2.2).
+* GS-DRAM gathers: data chips return lines from *different rows* while a
+  parity chip can only return one row's parity per access -- the codewords
+  are incomplete, so chipkill (and even SEC-DED) must be disabled
+  (Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+#: One cell of a transfer: which chip, which beat, and which memory line
+#: (row identity) the bits come from.
+Cell = Tuple[int, int, int]  # (chip, beat, line_id)
+
+DATA_CHIPS = 16
+PARITY_CHIPS = 2
+CHIPS = DATA_CHIPS + PARITY_CHIPS
+BEATS = 8
+
+
+@dataclass(frozen=True)
+class CodewordCheck:
+    """Integrity verdict for one transfer."""
+
+    complete: bool
+    codewords: int  # number of complete codewords found
+    reason: str
+
+
+def _cells_regular(line_id: int = 0) -> List[Cell]:
+    """A regular burst: all chips, all beats, one line."""
+    return [(c, b, line_id) for c in range(CHIPS) for b in range(BEATS)]
+
+
+def _cells_sam_gather(line_ids: Sequence[int]) -> List[Cell]:
+    """A SAM stride-mode burst: all 18 chips participate every beat, but
+    the bits on DQ-position j come from line ``line_ids[j]``.  At codeword
+    granularity each strided element's data and parity travel together."""
+    if len(line_ids) != 4:
+        raise ValueError("SAM gathers four lines per burst")
+    # Each chip contributes one symbol per line (8 bits spread over the
+    # burst); beat index is not meaningful per line here, so give each
+    # element its own two-beat slot for accounting purposes.
+    cells = []
+    for j, line in enumerate(line_ids):
+        for c in range(CHIPS):
+            for b in (2 * j, 2 * j + 1):
+                cells.append((c, b, line))
+    return cells
+
+
+def _cells_gs_dram_gather(line_ids: Sequence[int]) -> List[Cell]:
+    """A GS-DRAM gather: data chips are split across lines (each group of
+    chips returns its own row), while parity chips can only follow one row
+    address."""
+    n = len(line_ids)
+    if DATA_CHIPS % n:
+        raise ValueError(f"cannot spread {n} lines over {DATA_CHIPS} chips")
+    group = DATA_CHIPS // n
+    cells = []
+    for c in range(DATA_CHIPS):
+        line = line_ids[c // group]
+        for b in range(BEATS):
+            cells.append((c, b, line))
+    for c in range(DATA_CHIPS, CHIPS):
+        for b in range(BEATS):
+            cells.append((c, b, line_ids[0]))  # parity follows one row only
+    return cells
+
+
+def check_codewords(cells: Sequence[Cell]) -> CodewordCheck:
+    """Decide whether a transfer decomposes into complete SSC codewords.
+
+    A codeword needs, for one line, a two-beat-equivalent slice of *all*
+    chips (16 data symbols + 2 parity symbols from the same line).
+    """
+    by_line_chip: Dict[int, Set[int]] = {}
+    cell_count: Dict[Tuple[int, int], int] = {}
+    for chip, _beat, line in cells:
+        by_line_chip.setdefault(line, set()).add(chip)
+        cell_count[(line, chip)] = cell_count.get((line, chip), 0) + 1
+    codewords = 0
+    for line, chips in sorted(by_line_chip.items()):
+        if len(chips) != CHIPS:
+            return CodewordCheck(
+                False,
+                codewords,
+                f"line {line}: only {len(chips)}/{CHIPS} chips present -- "
+                "its parity symbols are not in the transfer",
+            )
+        beats = min(cell_count[(line, chip)] for chip in chips)
+        codewords += beats // 2  # one codeword per two beats
+    if codewords == 0:
+        return CodewordCheck(False, 0, "no complete codeword in transfer")
+    return CodewordCheck(True, codewords, "all codewords complete")
+
+
+def regular_transfer_check() -> CodewordCheck:
+    """Any scheme's regular 64B burst."""
+    return check_codewords(_cells_regular())
+
+
+def sam_gather_check(line_ids: Sequence[int] = (0, 1, 2, 3)) -> CodewordCheck:
+    """SAM-sub / SAM-IO / SAM-en stride-mode burst."""
+    return check_codewords(_cells_sam_gather(line_ids))
+
+
+def gs_dram_gather_check(
+    line_ids: Sequence[int] = (0, 1, 2, 3)
+) -> CodewordCheck:
+    """GS-DRAM gather: expected to fail codeword integrity."""
+    return check_codewords(_cells_gs_dram_gather(line_ids))

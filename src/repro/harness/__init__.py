@@ -1,0 +1,43 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .figure12 import Figure12Result, run_figure12
+from .figure13 import Figure13Result, run_figure13
+from .figure14 import (
+    run_figure14a,
+    run_figure14b,
+    run_figure14c,
+    render_figure14c,
+)
+from .figure15 import (
+    FIG15_DESIGNS,
+    run_figure15,
+    run_projectivity_sweep,
+    run_record_size_sweep,
+    run_selectivity_sweep,
+)
+from .reliability import render_reliability, run_reliability
+from .report import bar_chart, grouped_bar_chart, sweep_chart
+from .workload import geomean, make_tables
+
+__all__ = [
+    "Figure12Result",
+    "run_figure12",
+    "Figure13Result",
+    "run_figure13",
+    "run_figure14a",
+    "run_figure14b",
+    "run_figure14c",
+    "render_figure14c",
+    "FIG15_DESIGNS",
+    "run_figure15",
+    "run_projectivity_sweep",
+    "run_record_size_sweep",
+    "run_selectivity_sweep",
+    "render_reliability",
+    "run_reliability",
+    "bar_chart",
+    "grouped_bar_chart",
+    "sweep_chart",
+    "geomean",
+    "make_tables",
+]

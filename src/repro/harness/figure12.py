@@ -1,0 +1,141 @@
+"""Figure 12: speedup of every design on the Q and Qs queries.
+
+Every (scheme, query) pair is simulated end to end; speedups are
+normalized to the commodity row-store baseline, exactly as in the paper.
+The ``ideal`` series is a row store for Qs queries and a column store for
+Q queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.registry import FIGURE12_DESIGNS
+from ..imdb.queries import q_queries, qs_queries
+from ..sim.runner import run_ideal, run_query
+from .workload import geomean, make_tables
+
+
+@dataclass
+class Figure12Result:
+    """Speedups[design][query], normalized to the row-store baseline."""
+
+    speedups: Dict[str, Dict[str, float]]
+    baseline_cycles: Dict[str, int]
+    q_names: List[str]
+    qs_names: List[str]
+
+    def gmean(self, design: str, queries: Sequence[str]) -> float:
+        if not queries:
+            return float("nan")
+        return geomean(self.speedups[design][q] for q in queries)
+
+    def q_gmean(self, design: str) -> float:
+        return self.gmean(design, self.q_names)
+
+    def qs_gmean(self, design: str) -> float:
+        return self.gmean(design, self.qs_names)
+
+    def render_chart(self) -> str:
+        """Figure-12 shaped ASCII bars: Q/Qs geomeans per design."""
+        from .report import bar_chart
+
+        blocks = []
+        if self.q_names:
+            blocks.append("Gmean speedup, Q queries (column-friendly):")
+            blocks.append(
+                bar_chart(
+                    {d: self.q_gmean(d) for d in self.speedups},
+                    reference=1.0,
+                    fmt="{:.2f}x",
+                )
+            )
+        if self.qs_names:
+            blocks.append("")
+            blocks.append("Gmean speedup, Qs queries (row-friendly):")
+            blocks.append(
+                bar_chart(
+                    {d: self.qs_gmean(d) for d in self.speedups},
+                    reference=1.0,
+                    fmt="{:.2f}x",
+                )
+            )
+        return '\n'.join(blocks)
+
+    def render(self) -> str:
+        designs = list(self.speedups)
+        lines = []
+        header = "query".ljust(8) + "".join(d.rjust(13) for d in designs)
+        lines.append(header)
+        rows = list(self.q_names)
+        if self.q_names:
+            rows.append("Gmean(Q)")
+        rows += self.qs_names
+        if self.qs_names:
+            rows.append("Gmean(Qs)")
+        for name in rows:
+            row = name.ljust(8)
+            for d in designs:
+                if name == "Gmean(Q)":
+                    v = self.q_gmean(d)
+                elif name == "Gmean(Qs)":
+                    v = self.qs_gmean(d)
+                else:
+                    v = self.speedups[d][name]
+                row += f"{v:13.2f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_figure12(
+    n_ta: int = 2048,
+    n_tb: int = 4096,
+    designs: Optional[Sequence[str]] = None,
+    queries: Optional[Sequence[str]] = None,
+    include_ideal: bool = True,
+    gather_factor: int = 8,
+) -> Figure12Result:
+    """Regenerate Figure 12 (optionally restricted to some designs/queries).
+
+    ``gather_factor=8`` is the paper's default: SSC-DSD chipkill with 4-bit
+    strided granularity.
+    """
+    q_list = [q for q in q_queries() if queries is None or q.name in queries]
+    qs_list = [
+        q for q in qs_queries() if queries is None or q.name in queries
+    ]
+    all_q = q_list + qs_list
+    designs = list(designs or FIGURE12_DESIGNS)
+
+    baseline_cycles: Dict[str, int] = {}
+    for query in all_q:
+        tables = make_tables(n_ta, n_tb)
+        baseline_cycles[query.name] = run_query(
+            "baseline", query, tables
+        ).cycles
+
+    speedups: Dict[str, Dict[str, float]] = {}
+    for design in designs:
+        speedups[design] = {}
+        for query in all_q:
+            tables = make_tables(n_ta, n_tb)
+            result = run_query(design, query, tables,
+                               gather_factor=gather_factor)
+            speedups[design][query.name] = (
+                baseline_cycles[query.name] / result.cycles
+            )
+    if include_ideal:
+        speedups["ideal"] = {}
+        for query in all_q:
+            tables = make_tables(n_ta, n_tb)
+            result = run_ideal(query, tables)
+            speedups["ideal"][query.name] = (
+                baseline_cycles[query.name] / result.cycles
+            )
+    return Figure12Result(
+        speedups,
+        baseline_cycles,
+        [q.name for q in q_list],
+        [q.name for q in qs_list],
+    )

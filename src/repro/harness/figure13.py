@@ -1,0 +1,97 @@
+"""Figure 13: power and energy efficiency by query class.
+
+The paper groups the benchmark into four classes -- read-type Q queries
+(Q1-Q10), write-type Q queries (Q11, Q12), read-type Qs queries (Qs1-Qs4)
+and write-type Qs queries (Qs5, Qs6) -- and reports, per design:
+
+* average memory power (mW), split into background / RD-WR / ACT,
+* energy efficiency normalized to the row-store baseline
+  (baseline energy / design energy for the same work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.registry import FIGURE12_DESIGNS
+from ..imdb.queries import by_name
+from ..sim.runner import run_query
+from .workload import make_tables
+
+#: Figure 13's query classes.
+CLASSES = {
+    "Read(Q1-Q10)": [f"Q{i}" for i in range(1, 11)],
+    "Write(Q11,Q12)": ["Q11", "Q12"],
+    "Read(Qs1-Qs4)": ["Qs1", "Qs2", "Qs3", "Qs4"],
+    "Write(Qs5,Qs6)": ["Qs5", "Qs6"],
+}
+
+
+@dataclass
+class Figure13Result:
+    """power_mw[class][design] -> {background, rdwr, act, total};
+    efficiency[class][design] -> energy efficiency vs baseline."""
+
+    power_mw: Dict[str, Dict[str, Dict[str, float]]]
+    efficiency: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        lines = []
+        for cls, per_design in self.power_mw.items():
+            lines.append(f"== {cls}")
+            for design, parts in per_design.items():
+                eff = self.efficiency[cls][design]
+                lines.append(
+                    f"  {design:12s} power={parts['total']:7.1f} mW "
+                    f"(bg={parts['background']:6.1f} rdwr={parts['rdwr']:6.1f}"
+                    f" act={parts['act']:6.1f})  energy-eff={eff:5.2f}x"
+                )
+        return "\n".join(lines)
+
+
+def run_figure13(
+    n_ta: int = 1024,
+    n_tb: int = 2048,
+    designs: Optional[Sequence[str]] = None,
+) -> Figure13Result:
+    """Regenerate Figure 13."""
+    designs = list(designs or (("baseline",) + tuple(FIGURE12_DESIGNS)))
+    queries = by_name()
+    power: Dict[str, Dict[str, Dict[str, float]]] = {}
+    eff: Dict[str, Dict[str, float]] = {}
+    # energy per class per design, for the efficiency ratios
+    energy: Dict[str, Dict[str, float]] = {c: {} for c in CLASSES}
+    for cls, names in CLASSES.items():
+        power[cls] = {}
+        for design in designs:
+            totals = {"background": 0.0, "rdwr": 0.0, "act": 0.0,
+                      "total": 0.0}
+            cls_energy = 0.0
+            elapsed = 0.0
+            for qname in names:
+                tables = make_tables(n_ta, n_tb)
+                result = run_query(design, queries[qname], tables)
+                p = result.power
+                cls_energy += p.total_nj
+                elapsed += p.elapsed_ns
+                totals["background"] += p.background_nj
+                totals["rdwr"] += p.rdwr_nj
+                totals["act"] += p.act_nj
+            totals["total"] = sum(
+                totals[k] for k in ("background", "rdwr", "act")
+            )
+            # power = class energy over class runtime
+            if elapsed > 0:
+                for key in totals:
+                    totals[key] = totals[key] / elapsed * 1e3
+            power[cls][design] = totals
+            energy[cls][design] = cls_energy
+    for cls in CLASSES:
+        base = energy[cls].get("baseline")
+        eff[cls] = {}
+        for design in designs:
+            eff[cls][design] = (
+                base / energy[cls][design] if base else float("nan")
+            )
+    return Figure13Result(power, eff)

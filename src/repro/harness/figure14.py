@@ -1,0 +1,138 @@
+"""Figure 14: substrate swap, strided granularity, and area overhead.
+
+(a) RC-NVM and SAM implemented on each other's technology: RC-NVM-wd and
+    SAM designs with DRAM vs NVM (RRAM) timing.
+(b) Performance of RC-NVM-wd, GS-DRAM-ecc and SAM-en at 16/8/4-bit strided
+    granularity (gather factors 2/4/8).
+(c) Area / storage overhead of every design (static model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..area.overhead import AreaReport, all_designs
+from ..core.registry import make_scheme
+from ..dram.timing import preset
+from ..imdb.queries import all_queries, q_queries
+from ..sim.runner import run_query
+from .workload import geomean, make_tables
+
+
+def _swap_timing(scheme, timing_name: str):
+    """Return the scheme with its base timing forced to ``timing_name``."""
+    scheme.base_timing = lambda: preset(timing_name)  # type: ignore
+    return scheme
+
+
+@dataclass
+class Figure14aResult:
+    """Average speedup (all queries) of each design on each substrate."""
+
+    speedups: Dict[str, Dict[str, float]]  # substrate -> design -> gmean
+
+    def render(self) -> str:
+        lines = ["design           on-DRAM   on-NVM"]
+        designs = sorted(
+            {d for per in self.speedups.values() for d in per}
+        )
+        for d in designs:
+            dram = self.speedups["DRAM"].get(d, float("nan"))
+            nvm = self.speedups["NVM"].get(d, float("nan"))
+            lines.append(f"{d:14s} {dram:9.2f} {nvm:8.2f}")
+        return "\n".join(lines)
+
+
+def run_figure14a(
+    n_ta: int = 1024,
+    n_tb: int = 2048,
+    designs: Sequence[str] = ("RC-NVM-wd", "SAM-sub", "SAM-IO", "SAM-en"),
+    queries: Optional[Sequence[str]] = None,
+) -> Figure14aResult:
+    """Figure 14(a): every design on both memory technologies."""
+    q_list = [
+        q for q in all_queries() if queries is None or q.name in queries
+    ]
+    base_cycles = {}
+    for query in q_list:
+        tables = make_tables(n_ta, n_tb)
+        base_cycles[query.name] = run_query("baseline", query, tables).cycles
+    out: Dict[str, Dict[str, float]] = {"DRAM": {}, "NVM": {}}
+    for substrate, timing_name in (("DRAM", "DDR4-2400"), ("NVM", "RRAM")):
+        for design in designs:
+            speeds = []
+            for query in q_list:
+                scheme = _swap_timing(make_scheme(design), timing_name)
+                tables = make_tables(n_ta, n_tb)
+                result = run_query(scheme, query, tables)
+                speeds.append(base_cycles[query.name] / result.cycles)
+            out[substrate][design] = geomean(speeds)
+    return Figure14aResult(out)
+
+
+@dataclass
+class Figure14bResult:
+    """Q-query gmean speedup per design per strided granularity."""
+
+    speedups: Dict[int, Dict[str, float]]  # granularity bits -> design
+
+    def render(self) -> str:
+        lines = ["granularity   " + "".join(
+            d.rjust(14)
+            for d in next(iter(self.speedups.values()))
+        )]
+        for bits in sorted(self.speedups, reverse=True):
+            row = f"{bits:2d}-bit        "
+            for d, v in self.speedups[bits].items():
+                row += f"{v:14.2f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+#: granularity in bits-per-chip -> gather factor (elements per burst)
+GRANULARITY_TO_GATHER = {16: 2, 8: 4, 4: 8}
+
+
+def run_figure14b(
+    n_ta: int = 1024,
+    n_tb: int = 2048,
+    designs: Sequence[str] = ("RC-NVM-wd", "GS-DRAM-ecc", "SAM-en"),
+    queries: Optional[Sequence[str]] = None,
+) -> Figure14bResult:
+    """Figure 14(b): strided granularity sweep over Q queries."""
+    q_list = [
+        q for q in q_queries() if queries is None or q.name in queries
+    ]
+    base_cycles = {}
+    for query in q_list:
+        tables = make_tables(n_ta, n_tb)
+        base_cycles[query.name] = run_query("baseline", query, tables).cycles
+    out: Dict[int, Dict[str, float]] = {}
+    for bits, factor in GRANULARITY_TO_GATHER.items():
+        out[bits] = {}
+        for design in designs:
+            speeds = []
+            for query in q_list:
+                tables = make_tables(n_ta, n_tb)
+                result = run_query(
+                    design, query, tables, gather_factor=factor
+                )
+                speeds.append(base_cycles[query.name] / result.cycles)
+            out[bits][design] = geomean(speeds)
+    return Figure14bResult(out)
+
+
+def run_figure14c() -> Dict[str, AreaReport]:
+    """Figure 14(c): the static area/storage overhead model."""
+    return all_designs()
+
+
+def render_figure14c() -> str:
+    lines = ["design          silicon   storage   extra-metal"]
+    for name, report in run_figure14c().items():
+        lines.append(
+            f"{name:14s} {report.silicon_fraction:8.3%} "
+            f"{report.storage_fraction:8.3%}   {report.extra_metal_layers}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Figure 15: parametric arithmetic/aggregate query sweeps.
+
+Nine panels; all normalized to the row-store baseline, with the "ideal"
+series being the better of the row store and the column store per point:
+
+(a)-(c) arithmetic query, selectivity sweep at 8 / 64 / 128 projected fields
+(d)-(f) arithmetic query, projectivity sweep at 10% / 50% / 100% selected
+(g)     aggregate query, selectivity sweep at 8 projected fields
+(h)     aggregate query, projectivity sweep at 100% selected
+(i)     record-size sweep at 100% projectivity and selectivity
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..imdb.queries import aggregate_query, arithmetic_query
+from ..imdb.query import Predicate, SelectQuery
+from ..imdb.schema import Table, TableSchema
+from ..sim.runner import run_query
+from .workload import make_tables
+
+#: The representative designs of Figure 15.
+FIG15_DESIGNS = ("RC-NVM-wd", "GS-DRAM-ecc", "SAM-en")
+
+#: sweep axes (paper: 10%..100% selectivity; 4..128 fields projected)
+SELECTIVITIES = (0.1, 0.25, 0.5, 0.75, 1.0)
+PROJECTIVITIES = (4, 8, 16, 32, 64, 128)
+RECORD_FIELDS = (2, 8, 32, 128, 512, 1024)  # 16B .. 8KB records
+
+
+@dataclass
+class SweepResult:
+    """One panel: x-axis values -> {design -> speedup}."""
+
+    panel: str
+    xlabel: str
+    points: Dict[object, Dict[str, float]] = field(default_factory=dict)
+
+    def series(self, design: str) -> List[float]:
+        return [self.points[x][design] for x in self.points]
+
+    def render(self) -> str:
+        designs = list(next(iter(self.points.values())))
+        lines = [f"== {self.panel} ({self.xlabel})"]
+        lines.append(
+            "x".rjust(8) + "".join(d.rjust(14) for d in designs)
+        )
+        for x, per in self.points.items():
+            lines.append(
+                f"{x!s:>8}" + "".join(f"{per[d]:14.2f}" for d in designs)
+            )
+        return "\n".join(lines)
+
+
+def _run_point(
+    query,
+    n_ta: int,
+    designs: Sequence[str],
+) -> Dict[str, float]:
+    """Speedups of ``designs`` + ideal for one query configuration."""
+    tables = make_tables(n_ta, 64)
+    base = run_query("baseline", query, tables).cycles
+    out: Dict[str, float] = {}
+    for design in designs:
+        tables = make_tables(n_ta, 64)
+        result = run_query(design, query, tables)
+        out[design] = base / result.cycles
+    # ideal: best of row store (baseline) and column store
+    tables = make_tables(n_ta, 64)
+    col = run_query("column-store", query, tables).cycles
+    out["ideal"] = base / min(base, col)
+    return out
+
+
+def run_selectivity_sweep(
+    projected: int,
+    n_ta: int = 1024,
+    designs: Sequence[str] = FIG15_DESIGNS,
+    selectivities: Sequence[float] = SELECTIVITIES,
+    aggregate: bool = False,
+) -> SweepResult:
+    """Panels (a)-(c) and (g): vary selectivity at fixed projectivity."""
+    maker = aggregate_query if aggregate else arithmetic_query
+    kind = "aggregate" if aggregate else "arithmetic"
+    panel = SweepResult(
+        f"{kind}, {projected} fields projected", "selectivity"
+    )
+    for sel in selectivities:
+        query = maker(projected, sel)
+        panel.points[sel] = _run_point(query, n_ta, designs)
+    return panel
+
+
+def run_projectivity_sweep(
+    selectivity: float,
+    n_ta: int = 1024,
+    designs: Sequence[str] = FIG15_DESIGNS,
+    projectivities: Sequence[int] = PROJECTIVITIES,
+    aggregate: bool = False,
+) -> SweepResult:
+    """Panels (d)-(f) and (h): vary projectivity at fixed selectivity."""
+    maker = aggregate_query if aggregate else arithmetic_query
+    kind = "aggregate" if aggregate else "arithmetic"
+    panel = SweepResult(
+        f"{kind}, {selectivity:.0%} records selected", "fields projected"
+    )
+    for proj in projectivities:
+        query = maker(proj, selectivity)
+        panel.points[proj] = _run_point(query, n_ta, designs)
+    return panel
+
+
+def run_record_size_sweep(
+    n_bytes_total: int = 1 << 20,
+    designs: Sequence[str] = FIG15_DESIGNS,
+    record_fields: Sequence[int] = RECORD_FIELDS,
+) -> SweepResult:
+    """Panel (i): vary record size at 100% projectivity and selectivity.
+
+    The table footprint is held constant (fewer records as they grow),
+    matching the paper's fixed-table-size sweep.
+    """
+    panel = SweepResult(
+        "arithmetic, all fields projected, 100% selected", "record size (8B)"
+    )
+    for fields in record_fields:
+        schema = TableSchema(f"T{fields}", n_fields=fields)
+        n_records = max(8, n_bytes_total // schema.record_bytes)
+        query = SelectQuery(
+            f"Arith[rs={fields}]",
+            "Ta",
+            tuple(range(fields)),
+            Predicate.where(0, "<", 1.0),
+        )
+        tables = {
+            "Ta": Table(schema, n_records, seed=3),
+            "Tb": Table(TableSchema("Tb", 16), 64, seed=4),
+        }
+        base = run_query("baseline", query, tables).cycles
+        point: Dict[str, float] = {}
+        for design in designs:
+            tables = {
+                "Ta": Table(schema, n_records, seed=3),
+                "Tb": Table(TableSchema("Tb", 16), 64, seed=4),
+            }
+            result = run_query(design, query, tables)
+            point[design] = base / result.cycles
+        point["ideal"] = 1.0  # row store is ideal at 100%/100%
+        panel.points[fields] = point
+    return panel
+
+
+def run_figure15(
+    n_ta: int = 512,
+    designs: Sequence[str] = FIG15_DESIGNS,
+) -> Dict[str, SweepResult]:
+    """All nine panels (reduced sweep density by default -- each point is
+    a full simulation of four designs)."""
+    return {
+        "a": run_selectivity_sweep(8, n_ta, designs),
+        "b": run_selectivity_sweep(64, n_ta, designs),
+        "c": run_selectivity_sweep(128, n_ta, designs),
+        "d": run_projectivity_sweep(0.10, n_ta, designs),
+        "e": run_projectivity_sweep(0.50, n_ta, designs),
+        "f": run_projectivity_sweep(1.00, n_ta, designs),
+        "g": run_selectivity_sweep(8, n_ta, designs, aggregate=True),
+        "h": run_projectivity_sweep(1.00, n_ta, designs, aggregate=True),
+        "i": run_record_size_sweep(designs=designs),
+    }

@@ -1,0 +1,96 @@
+"""ASCII chart rendering for harness results.
+
+The benchmarks print numeric tables; these helpers turn the same data
+into terminal bar charts so the figure *shapes* are visible at a glance
+(grouped bars like Figure 12, line-ish sweeps like Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_BAR = "#"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 48,
+    reference: Optional[float] = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bars for one series, labelled and scaled to ``width``.
+
+    ``reference`` draws a marker column (e.g. the 1.0x baseline).
+    """
+    if not values:
+        return "(empty)"
+    peak = max(max(values.values()), reference or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(k) for k in values)
+    lines = []
+    for key, value in values.items():
+        n = int(round(value / peak * width))
+        bar = _BAR * n
+        if reference is not None:
+            ref_col = int(round(reference / peak * width))
+            if ref_col < width:
+                bar = (
+                    bar.ljust(ref_col) + "|" + bar[ref_col + 1 :]
+                    if n <= ref_col
+                    else bar[:ref_col] + "|" + bar[ref_col + 1 :]
+                )
+        lines.append(
+            f"{key.ljust(label_w)}  {bar.ljust(width)} " + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    reference: Optional[float] = None,
+) -> str:
+    """Figure-12-style grouped bars: one block per group (query), one bar
+    per series (design)."""
+    blocks = []
+    for group, series in groups.items():
+        blocks.append(group)
+        chart = bar_chart(series, width=width, reference=reference)
+        blocks.append("  " + chart.replace("\n", "\n  "))
+    return "\n".join(blocks)
+
+
+def sweep_chart(
+    points: Mapping[object, Mapping[str, float]],
+    series: Sequence[str],
+    height: int = 10,
+    width: int = 60,
+) -> str:
+    """A Figure-15-style sweep as a character plot (one glyph per series)."""
+    if not points:
+        return "(empty)"
+    xs = list(points)
+    peak = max(
+        points[x].get(s, 0.0) for x in xs for s in series
+    )
+    if peak <= 0:
+        peak = 1.0
+    glyphs = "ox+*@%"
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(series):
+        glyph = glyphs[si % len(glyphs)]
+        for xi, x in enumerate(xs):
+            v = points[x].get(name)
+            if v is None:
+                continue
+            col = int(xi / max(1, len(xs) - 1) * (width - 1))
+            row = height - 1 - int(v / peak * (height - 1))
+            grid[row][col] = glyph
+    lines = ["".join(row).rstrip() or "" for row in grid]
+    axis = "-" * width
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    xlabels = f"{xs[0]!s} .. {xs[-1]!s}   (peak {peak:.2f})"
+    return "\n".join(lines + [axis, xlabels, legend])

@@ -1,0 +1,43 @@
+"""Benchmark workload construction (Section 6.1).
+
+The paper loads 10M records per table; a pure-Python cycle-level simulator
+cannot stream that in reasonable time, so the harness defaults to a few
+thousand records.  The workloads are stationary streaming scans -- per-
+record cost converges after a few hundred records -- so relative numbers
+are stable in table size (EXPERIMENTS.md records the sensitivity check).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..imdb.schema import TA, TB, Table
+
+#: Default table sizes for the harness (records).
+DEFAULT_TA_RECORDS = 2048
+DEFAULT_TB_RECORDS = 4096
+
+
+def make_tables(
+    n_ta: int = DEFAULT_TA_RECORDS,
+    n_tb: int = DEFAULT_TB_RECORDS,
+    seed: int = 42,
+) -> Dict[str, Table]:
+    """Fresh Ta/Tb tables (fresh per run: updates mutate them)."""
+    return {
+        "Ta": Table(TA, n_ta, seed=seed),
+        "Tb": Table(TB, n_tb, seed=seed + 1),
+    }
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's cross-query summary statistic)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of nothing")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean needs positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

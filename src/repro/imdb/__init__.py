@@ -1,0 +1,51 @@
+"""In-memory database workload: schemas, queries, executor."""
+
+from .executor import CostModel, ExecutorOutput, QueryExecutor
+from .queries import (
+    aggregate_query,
+    all_queries,
+    arithmetic_query,
+    by_name,
+    q_queries,
+    qs_queries,
+)
+from .query import (
+    AggregateQuery,
+    Conjunct,
+    InsertQuery,
+    JoinQuery,
+    Predicate,
+    Query,
+    SelectQuery,
+    UpdateQuery,
+)
+from .schema import FIELD_BYTES, PREDICATE_RANGE, TA, TB, Table, TableSchema
+from .sql import SQLError, parse
+
+__all__ = [
+    "CostModel",
+    "ExecutorOutput",
+    "QueryExecutor",
+    "aggregate_query",
+    "all_queries",
+    "arithmetic_query",
+    "by_name",
+    "q_queries",
+    "qs_queries",
+    "AggregateQuery",
+    "Conjunct",
+    "InsertQuery",
+    "JoinQuery",
+    "Predicate",
+    "Query",
+    "SelectQuery",
+    "UpdateQuery",
+    "FIELD_BYTES",
+    "PREDICATE_RANGE",
+    "TA",
+    "TB",
+    "Table",
+    "TableSchema",
+    "SQLError",
+    "parse",
+]

@@ -1,0 +1,76 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction that models time (memory controller, CPU
+cores, refresh engine) is driven by one :class:`Kernel`: a priority queue of
+``(time, sequence, callback)`` events.  Time is measured in integer memory
+controller clock cycles (tCK of the configured device).
+
+The kernel is deliberately minimal -- no processes or coroutines -- because
+the component state machines schedule their own wake-ups.  This keeps the
+hot loop cheap, which matters for a pure-Python cycle-level simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Kernel:
+    """A discrete-event scheduler with integer timestamps."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, when: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when}, current time is {self.now}"
+            )
+        heapq.heappush(self._queue, (when, self._seq, callback))
+        self._seq += 1
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        self.now = when
+        callback()
+        return True
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains (or limits hit).
+
+        Returns the number of events executed.  ``until`` stops the run once
+        the next event lies beyond that time (the event is left queued);
+        ``max_events`` guards against runaway simulations.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events at t={self.now}"
+                )
+            self.step()
+            executed += 1
+        return executed

@@ -1,0 +1,13 @@
+"""IDD-based DRAM / RRAM power modelling (Micron power-calculator style)."""
+
+from .idd import DDR4_X4, DDR4_X16_CLASS, IDDValues
+from .model import PowerBreakdown, PowerConfig, PowerModel
+
+__all__ = [
+    "DDR4_X4",
+    "DDR4_X16_CLASS",
+    "IDDValues",
+    "PowerBreakdown",
+    "PowerConfig",
+    "PowerModel",
+]

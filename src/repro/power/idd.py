@@ -1,0 +1,57 @@
+"""IDD current tables (Micron-power-calculator style, Section 6.1).
+
+Values approximate a Micron 8Gb DDR4-2400 x4 device datasheet.  The stride
+modes of SAM-IO behave like a x16 device internally (all four I/O buffers
+filled per column access), so they draw x16-class burst current; SAM-en's
+fine-grained activation restores x4-class behaviour and trims activation
+energy (Option 1 of Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IDDValues:
+    """Per-chip currents in milliamps at VDD."""
+
+    name: str
+    vdd: float  # volts
+    idd0: float  # ACT-PRE cycling
+    idd2n: float  # precharge standby
+    idd3n: float  # active standby
+    idd4r: float  # burst read
+    idd4w: float  # burst write
+    idd5: float  # refresh
+
+    def background_mw(self, active: bool = True) -> float:
+        """Standby power of one chip in milliwatts."""
+        return (self.idd3n if active else self.idd2n) * self.vdd
+
+
+#: x4 DDR4-2400 8Gb device.
+DDR4_X4 = IDDValues(
+    name="DDR4-x4",
+    vdd=1.2,
+    idd0=58.0,
+    idd2n=44.0,
+    idd3n=52.0,
+    idd4r=145.0,
+    idd4w=135.0,
+    idd5=255.0,
+)
+
+#: x16-class currents -- what a common-die chip draws when all four I/O
+#: buffers are engaged (SAM-IO stride mode).  Calibrated so a stride-mode
+#: read stream draws ~1.8x the baseline's power (Section 6.2).
+DDR4_X16_CLASS = IDDValues(
+    name="DDR4-x16-class",
+    vdd=1.2,
+    idd0=65.0,
+    idd2n=46.0,
+    idd3n=55.0,
+    idd4r=180.0,
+    idd4w=170.0,
+    idd5=255.0,
+)

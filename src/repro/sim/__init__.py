@@ -1,0 +1,23 @@
+"""Simulation glue: kernel, configuration, system, runner, results."""
+
+from .config import DEFAULT_CONFIG, SystemConfig
+from ..kernel import Kernel, SimulationError
+from .results import RunResult
+from .runner import allocate_placements, run_ideal, run_query
+from .system import MemorySystem, SystemStats
+from .trace import CommandTracer, TraceEvent
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SystemConfig",
+    "Kernel",
+    "SimulationError",
+    "RunResult",
+    "allocate_placements",
+    "run_ideal",
+    "run_query",
+    "MemorySystem",
+    "SystemStats",
+    "CommandTracer",
+    "TraceEvent",
+]

@@ -1,0 +1,6 @@
+"""Compatibility shim: the kernel lives at :mod:`repro.kernel` (it is a
+dependency of every timed component, including packages below ``sim``)."""
+
+from ..kernel import Kernel, SimulationError
+
+__all__ = ["Kernel", "SimulationError"]

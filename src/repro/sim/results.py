@@ -1,0 +1,43 @@
+"""Run-result containers shared by the runner and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..dram.controller import CommandStats
+from ..power.model import PowerBreakdown
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (scheme, query) simulation."""
+
+    scheme: str
+    query: str
+    cycles: int
+    ns: float
+    memory_stats: CommandStats
+    power: PowerBreakdown
+    result: object
+    selected_records: int = 0
+    core_stats: Dict[str, int] = field(default_factory=dict)
+    bus_utilization: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        return self.ns * 1e-9
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same query)."""
+        if self.cycles <= 0:
+            raise ValueError("run did not execute")
+        return baseline.cycles / self.cycles
+
+    def energy_efficiency_over(self, baseline: "RunResult") -> float:
+        """Relative energy efficiency: baseline energy / this energy."""
+        mine = self.power.total_nj
+        theirs = baseline.power.total_nj
+        if mine <= 0:
+            raise ValueError("no energy recorded")
+        return theirs / mine

@@ -1,0 +1,147 @@
+"""End-to-end query runner: scheme + query + tables -> RunResult.
+
+This is the reproduction's equivalent of the paper's gem5+NVMain stack:
+it allocates the tables through the scheme's placement, lowers the query
+with the executor, runs the cores against the cycle-level memory system,
+flushes dirty state, and reports time, command counts and energy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.registry import make_scheme
+from ..core.scheme import AccessScheme, Placement, TablePlacement
+from ..cpu.core import Core
+from ..power.model import PowerModel
+
+# typing-only imports of the imdb layer (it imports sim.config, so pulling
+# it at module load would be circular; the executor is imported lazily in
+# run_query instead)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..imdb.executor import CostModel, ExecutorOutput
+    from ..imdb.query import Query
+    from ..imdb.schema import Table
+from .config import SystemConfig
+from .kernel import Kernel
+from .results import RunResult
+from .system import MemorySystem
+
+#: Address-space spacing between allocated regions (tables never overlap).
+#: The module holds 32 GiB (2^35 bytes); four 8 GiB regions tile it exactly.
+_REGION_STRIDE = 1 << 33
+
+#: Safety valve for runaway simulations.
+_MAX_EVENTS = 200_000_000
+
+
+def allocate_placements(
+    scheme: AccessScheme, tables: Dict[str, Table]
+) -> Dict[str, Placement]:
+    """Place every table (and an insert shadow region per table)."""
+    placements: Dict[str, Placement] = {}
+    capacity = scheme.geometry.capacity_bytes
+    if 2 * len(tables) * _REGION_STRIDE > capacity:
+        raise ValueError("too many tables for the module's address space")
+    region = 0
+    for name in sorted(tables):
+        table = tables[name]
+        base = region * _REGION_STRIDE
+        placements[name] = scheme.placement(
+            TablePlacement(base, table.schema.record_bytes, table.n_records)
+        )
+        region += 1
+        insert_base = region * _REGION_STRIDE
+        placements[f"{name}+insert"] = scheme.placement(
+            TablePlacement(
+                insert_base, table.schema.record_bytes, table.n_records
+            )
+        )
+        region += 1
+    return placements
+
+
+def run_query(
+    scheme: "AccessScheme | str",
+    query: "Query",
+    tables: "Dict[str, Table]",
+    config: Optional[SystemConfig] = None,
+    cost: "Optional[CostModel]" = None,
+    gather_factor: Optional[int] = None,
+) -> RunResult:
+    """Simulate one query on one design and return the measurements."""
+    from ..imdb.executor import QueryExecutor
+
+    if isinstance(scheme, str):
+        scheme = make_scheme(scheme, gather_factor=gather_factor)
+    config = config or SystemConfig()
+
+    kernel = Kernel()
+    system = MemorySystem(kernel, scheme, config)
+    placements = allocate_placements(scheme, tables)
+    executor = QueryExecutor(scheme, config, tables, placements, cost)
+    output = executor.build(query)
+
+    cores = [
+        Core(kernel, core_id, system, config.core)
+        for core_id in range(config.cores)
+    ]
+    for core, ops in zip(cores, output.ops_per_core):
+        core.run(ops)
+
+    kernel.run(max_events=_MAX_EVENTS)
+    unfinished = [c.core_id for c in cores if not c.finished]
+    if unfinished:
+        raise RuntimeError(
+            f"cores {unfinished} stalled at t={kernel.now} "
+            f"({scheme.name}/{query.name})"
+        )
+    # Account the writeback tail: flush dirty lines and drain the queues.
+    system.flush_caches()
+    kernel.run(max_events=_MAX_EVENTS)
+    if not system.fully_drained:
+        raise RuntimeError(
+            f"memory system failed to drain ({scheme.name}/{query.name})"
+        )
+
+    cycles = kernel.now
+    power_model = PowerModel(
+        scheme.power_config, scheme.timing, scheme.geometry
+    )
+    power = power_model.evaluate(system.controller.stats, cycles)
+    core_stats = {
+        "loads": sum(c.loads for c in cores),
+        "stores": sum(c.stores for c in cores),
+        "gathers": sum(c.gathers for c in cores),
+        "hits": sum(c.hits for c in cores),
+        "misses": sum(c.misses for c in cores),
+    }
+    busy = system.controller.channel.data_busy_cycles
+    return RunResult(
+        scheme=scheme.name,
+        query=query.name,
+        cycles=cycles,
+        ns=scheme.timing.ns(cycles),
+        memory_stats=system.controller.stats,
+        power=power,
+        result=output.result,
+        selected_records=output.selected_records,
+        core_stats=core_stats,
+        bus_utilization=min(1.0, busy / cycles) if cycles else 0.0,
+    )
+
+
+def run_ideal(
+    query: "Query",
+    tables: "Dict[str, Table]",
+    config: Optional[SystemConfig] = None,
+    cost: "Optional[CostModel]" = None,
+) -> RunResult:
+    """The paper's "ideal" series: a plain row store for row-preferring
+    queries, a plain column store for column-preferring ones."""
+    name = "baseline" if query.prefers == "row" else "column-store"
+    result = run_query(name, query, tables, config, cost)
+    result.scheme = "ideal"
+    return result

@@ -1,0 +1,332 @@
+"""The simulated machine: cores + sector caches + memory controller.
+
+:class:`MemorySystem` wires one access scheme into the full system and
+provides the services the cores use:
+
+* sector-granular cache lookups (hierarchy of :mod:`repro.cache`),
+* an MSHR that merges demand misses to in-flight lines,
+* request lowering through the scheme (regular reads/writes, gathers),
+* writeback handling with write-queue backpressure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..cache.hierarchy import CacheHierarchy, HierarchyConfig, LookupResult
+from ..core.scheme import AccessScheme, GatherPlan
+from ..dram.controller import MemoryController
+from .config import SystemConfig
+from .kernel import Kernel
+
+
+@dataclass
+class _MSHREntry:
+    pending_mask: int
+    waiters: List[Callable[[], None]] = field(default_factory=list)
+
+
+@dataclass
+class SystemStats:
+    demand_fetches: int = 0
+    merged_fetches: int = 0
+    gathers: int = 0
+    gather_fallback_requests: int = 0
+    writebacks: int = 0
+    streaming_stores: int = 0
+    gather_stores: int = 0
+
+
+class MemorySystem:
+    """One scheme instantiated into a runnable system."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        scheme: AccessScheme,
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.scheme = scheme
+        self.config = config or SystemConfig()
+        hier_cfg = HierarchyConfig(
+            l1_bytes=self.config.hierarchy.l1_bytes,
+            l1_ways=self.config.hierarchy.l1_ways,
+            l2_bytes=self.config.hierarchy.l2_bytes,
+            l2_ways=self.config.hierarchy.l2_ways,
+            llc_bytes=self.config.hierarchy.llc_bytes,
+            llc_ways=self.config.hierarchy.llc_ways,
+            line_bytes=self.config.hierarchy.line_bytes,
+            sectors=scheme.sectors_per_line,
+        )
+        self.hierarchy = CacheHierarchy(hier_cfg, per_core_l1=self.config.cores)
+        self.controller = MemoryController(
+            kernel,
+            scheme.timing,
+            scheme.geometry,
+            self.config.controller,
+        )
+        self.line_bytes = self.config.hierarchy.line_bytes
+        self.stats = SystemStats()
+        self._mshr: Dict[int, _MSHREntry] = {}
+        self._pending_writebacks: Deque[int] = deque()
+        self._writeback_poll_scheduled = False
+        self.outstanding_writes = 0
+        self._done_callbacks: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------ utilities
+
+    def sectorize(self, addr: int, size: int) -> Tuple[int, int]:
+        """(line_addr, sector_mask) covering ``[addr, addr+size)``."""
+        line = addr - addr % self.line_bytes
+        cache = self.hierarchy.llc
+        return line, cache.sector_mask_for(addr, size)
+
+    def lookup(self, core: int, line: int, mask: int) -> LookupResult:
+        return self.hierarchy.lookup(core, line, mask)
+
+    def gather_cached(self, core: int, element_addrs: Sequence[int]) -> bool:
+        """True when every element of a gather group is already cached."""
+        for addr in element_addrs:
+            line, mask = self.sectorize(addr, self.scheme.sector_bytes)
+            result = self.hierarchy.lookup(core, line, mask)
+            if result.missing_mask:
+                return False
+        return True
+
+    def write_hit(self, core: int, line: int, mask: int) -> bool:
+        """Try to mark sectors dirty in place; False when not resident."""
+        result = self.hierarchy.write(core, line, mask)
+        return result.level is not None
+
+    # -------------------------------------------------------------- fetches
+
+    def issue_fetch(
+        self, core: int, line: int, mask: int,
+        callback: Callable[[], None],
+    ) -> bool:
+        """A demand fetch (MSHR-merged).
+
+        A regular read moves the whole 64B line, so the fill validates
+        every sector regardless of the sectors the requester asked for;
+        ``mask`` only matters for the requester's own wake-up.
+        """
+        whole = self.scheme.fetch_fills_whole_line
+        entry = self._mshr.get(line)
+        if entry is not None and (
+            whole or (mask & ~entry.pending_mask) == 0
+        ):
+            entry.waiters.append(callback)
+            self.stats.merged_fetches += 1
+            return True
+        if whole:
+            requests = self.scheme.lower_read(line)
+            fill_mask = (1 << self.hierarchy.llc.sectors) - 1
+        else:
+            # fine-granularity designs fetch only the requested sectors
+            requests = self.scheme.lower_read_sectors(line, mask)
+            fill_mask = mask
+        if not self._can_accept_all(requests):
+            return False
+        if entry is None:
+            entry = _MSHREntry(pending_mask=0)
+            self._mshr[line] = entry
+        entry.pending_mask |= fill_mask
+        entry.waiters.append(callback)
+        self.stats.demand_fetches += 1
+        self._submit_plan(
+            requests, lambda: self._finish_fetch(core, line, fill_mask)
+        )
+        return True
+
+    def _finish_fetch(self, core: int, line: int, fill_mask: int) -> None:
+        entry = self._mshr.get(line)
+        if entry is not None:
+            entry.pending_mask &= ~fill_mask
+            if entry.pending_mask == 0:
+                self._mshr.pop(line, None)
+                waiters = entry.waiters
+            else:
+                waiters = entry.waiters
+                entry.waiters = []
+        else:
+            waiters = []
+        evictions = self.hierarchy.fill_from_memory(core, line, fill_mask)
+        self._push_writebacks(evictions)
+        for waiter in waiters:
+            waiter()
+
+    # -------------------------------------------------------------- gathers
+
+    def issue_gather(
+        self, core: int, element_addrs: Sequence[int],
+        callback: Callable[[], None],
+    ) -> bool:
+        plan = self.scheme.lower_gather_read(element_addrs)
+        if plan is None:
+            # No stride hardware: fall back to per-element demand fetches,
+            # fused into one completion.
+            return self._issue_gather_fallback(core, element_addrs, callback)
+        if not self._can_accept_all(plan.requests):
+            return False
+        self.stats.gathers += 1
+        self._submit_plan(
+            plan.requests,
+            lambda: self._finish_gather(core, plan, callback),
+        )
+        return True
+
+    def _issue_gather_fallback(
+        self, core: int, element_addrs: Sequence[int],
+        callback: Callable[[], None],
+    ) -> bool:
+        lines = []
+        for addr in element_addrs:
+            line, mask = self.sectorize(addr, self.scheme.sector_bytes)
+            result = self.hierarchy.lookup(core, line, mask)
+            if result.missing_mask:
+                lines.append((line, result.missing_mask))
+        if not lines:
+            self.kernel.schedule(0, callback)
+            return True
+        remaining = len(lines)
+
+        def _one_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                callback()
+
+        # all-or-nothing admission to keep retry semantics simple
+        requests_needed = sum(
+            1 for line, _m in lines if line not in self._mshr
+        )
+        if requests_needed and len(
+            self.controller.read_queue
+        ) + requests_needed > self.controller.config.read_queue_capacity:
+            return False
+        self.stats.gather_fallback_requests += len(lines)
+        for line, mask in lines:
+            if not self.issue_fetch(core, line, mask, _one_done):
+                # capacity was checked above; treat as merged completion
+                self.kernel.schedule(0, _one_done)
+        return True
+
+    def _finish_gather(self, core: int, plan: GatherPlan,
+                       callback: Callable[[], None]) -> None:
+        for line, mask in plan.fills:
+            evictions = self.hierarchy.fill_from_memory(core, line, mask)
+            self._push_writebacks(evictions)
+        callback()
+
+    # --------------------------------------------------------------- stores
+
+    def issue_store_line(self, core: int, line: int) -> bool:
+        """A full-line streaming store (INSERT traffic): write directly."""
+        requests = self.scheme.lower_write(line)
+        if not self._can_accept_all(requests):
+            return False
+        self.stats.streaming_stores += 1
+        self._submit_plan(requests, None)
+        return True
+
+    def issue_gather_store(self, core: int,
+                           element_addrs: Sequence[int]) -> bool:
+        """A strided store: each element is a whole codeword, written
+        without read-modify-write.  Updates any cached copies in place."""
+        plan = self.scheme.lower_gather_write(element_addrs)
+        if plan is None:
+            # no stride hardware: read-modify-write per element line
+            raise RuntimeError(
+                f"scheme {self.scheme.name} cannot lower strided stores; "
+                "the executor should emit Store ops instead"
+            )
+        if not self._can_accept_all(plan.requests):
+            return False
+        self.stats.gather_stores += 1
+        for line, mask in plan.fills:
+            # keep caches coherent: update sectors that are resident
+            self.write_hit(core, line, mask)
+        self._submit_plan(plan.requests, None)
+        return True
+
+    # ----------------------------------------------------------- writebacks
+
+    def _push_writebacks(self, evictions) -> None:
+        for ev in evictions:
+            if ev.dirty_mask:
+                self._pending_writebacks.append(ev.line_addr)
+        self._drain_writebacks()
+
+    def _drain_writebacks(self) -> None:
+        while self._pending_writebacks:
+            line = self._pending_writebacks[0]
+            requests = self.scheme.lower_write(line)
+            if not self._can_accept_all(requests):
+                self._schedule_writeback_poll()
+                return
+            self._pending_writebacks.popleft()
+            self.stats.writebacks += 1
+            self._submit_plan(requests, None)
+
+    def _schedule_writeback_poll(self) -> None:
+        if self._writeback_poll_scheduled:
+            return
+        self._writeback_poll_scheduled = True
+
+        def _poll() -> None:
+            self._writeback_poll_scheduled = False
+            self._drain_writebacks()
+
+        self.kernel.schedule(16, _poll)
+
+    def flush_caches(self) -> None:
+        """End-of-run: push every dirty line toward memory."""
+        for ev in self.hierarchy.flush_dirty():
+            self._pending_writebacks.append(ev.line_addr)
+        self._drain_writebacks()
+
+    @property
+    def fully_drained(self) -> bool:
+        return (
+            not self._pending_writebacks
+            and self.outstanding_writes == 0
+            and self.controller.idle()
+        )
+
+    # ------------------------------------------------------------ plumbing
+
+    def _can_accept_all(self, requests) -> bool:
+        reads = sum(1 for r in requests if r.is_read)
+        writes = len(requests) - reads
+        cfg = self.controller.config
+        return (
+            len(self.controller.read_queue) + reads
+            <= cfg.read_queue_capacity
+            and len(self.controller.write_queue) + writes
+            <= cfg.write_queue_capacity
+        )
+
+    def _submit_plan(self, requests,
+                     callback: Optional[Callable[[], None]]) -> None:
+        remaining = len(requests)
+
+        def _one_done(_req, _time) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if _req.type.value == "WRITE":
+                self.outstanding_writes -= 1
+            if remaining == 0 and callback is not None:
+                callback()
+            self._drain_writebacks()
+
+        for request in requests:
+            request.on_complete = _one_done
+            if not request.is_read:
+                self.outstanding_writes += 1
+            self.controller.submit(request)
+
+    def core_may_be_done(self, core) -> None:
+        """Hook for the runner's end-of-run detection (no-op by default)."""

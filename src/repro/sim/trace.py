@@ -1,0 +1,121 @@
+"""Command-level tracing and bandwidth analysis.
+
+Attach a :class:`CommandTracer` to a controller (it installs itself as the
+controller's observer) to record every issued command.  The tracer offers
+the analyses a memory-system study needs when a number looks off:
+
+* data-bus utilization over time (who is bus-bound),
+* per-bank command histograms (who is bank-conflict-bound),
+* command-interval statistics (where the bubbles are),
+* an exportable event list for offline inspection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..dram.commands import Command, Request
+from ..dram.controller import MemoryController
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One issued command."""
+
+    cycle: int
+    command: str
+    rank: int
+    bank: int
+    row: int
+    gather: int
+
+    def as_tuple(self) -> Tuple[int, str, int, int, int, int]:
+        return (self.cycle, self.command, self.rank, self.bank, self.row,
+                self.gather)
+
+
+class CommandTracer:
+    """Records controller commands and derives summary statistics."""
+
+    def __init__(self, controller: MemoryController,
+                 keep_events: bool = True) -> None:
+        self.controller = controller
+        self.keep_events = keep_events
+        self.events: List[TraceEvent] = []
+        self.command_counts: Counter = Counter()
+        self.bank_commands: Counter = Counter()
+        self._last_cas_cycle: Optional[int] = None
+        self.cas_gaps: Counter = Counter()
+        controller.observer = self._observe
+
+    def detach(self) -> None:
+        self.controller.observer = None
+
+    # ------------------------------------------------------------ recording
+
+    def _observe(self, cycle: int, command: Command,
+                 request: Optional[Request]) -> None:
+        name = command.value
+        self.command_counts[name] += 1
+        if request is not None:
+            self.bank_commands[(request.addr.rank, request.addr.bank)] += 1
+            if self.keep_events:
+                self.events.append(
+                    TraceEvent(
+                        cycle,
+                        name,
+                        request.addr.rank,
+                        request.addr.bank,
+                        request.addr.row,
+                        request.gather,
+                    )
+                )
+            if command in (Command.RD, Command.WR):
+                if self._last_cas_cycle is not None:
+                    gap = cycle - self._last_cas_cycle
+                    self.cas_gaps[min(gap, 32)] += 1
+                self._last_cas_cycle = cycle
+
+    # ------------------------------------------------------------- analyses
+
+    def bus_utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of cycles the data bus carried a burst."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        busy = self.controller.channel.data_busy_cycles
+        return min(1.0, busy / elapsed_cycles)
+
+    def hottest_banks(self, top: int = 4) -> List[Tuple[Tuple[int, int], int]]:
+        return self.bank_commands.most_common(top)
+
+    def cas_gap_histogram(self) -> Dict[int, int]:
+        """Distribution of cycles between consecutive column commands;
+        a spike at tBL means bus-bound, larger modes are bubbles."""
+        return dict(sorted(self.cas_gaps.items()))
+
+    def report(self, elapsed_cycles: int) -> str:
+        lines = [
+            f"commands: " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.command_counts.items())
+            ),
+            f"data-bus utilization: "
+            f"{self.bus_utilization(elapsed_cycles):.1%}",
+        ]
+        if self.bank_commands:
+            hot = ", ".join(
+                f"rank{r}/bank{b}: {n}"
+                for (r, b), n in self.hottest_banks()
+            )
+            lines.append(f"hottest banks: {hot}")
+        gaps = self.cas_gap_histogram()
+        if gaps:
+            total = sum(gaps.values())
+            mode_gap = max(gaps, key=gaps.get)
+            lines.append(
+                f"CAS gaps: mode={mode_gap} cycles "
+                f"({gaps[mode_gap] / total:.0%} of intervals)"
+            )
+        return "\n".join(lines)

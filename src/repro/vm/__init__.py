@@ -1,0 +1,17 @@
+"""OS support: stride-mode virtual-to-physical remapping (Figure 10)."""
+
+from .stride_mapping import (
+    PAGE_SIZE,
+    PageTable,
+    StrideMapping,
+    sam_io_mapping,
+    sam_sub_mapping,
+)
+
+__all__ = [
+    "PAGE_SIZE",
+    "PageTable",
+    "StrideMapping",
+    "sam_io_mapping",
+    "sam_sub_mapping",
+]

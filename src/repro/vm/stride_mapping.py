@@ -1,0 +1,122 @@
+"""Virtual-to-physical address mapping under stride mode (Figure 10).
+
+An OS page normally maps its 12-bit page offset straight into the low
+physical bits.  Under stride mode the DRAM row shape changes (column-wise
+subarrays for SAM-sub; multi-sub-row "wide rows" for SAM-IO / SAM-en), so a
+small segment of the page offset is swapped with the physical bits that
+select the stride dimension:
+
+* SAM-sub, 4-bit granularity: a 3-bit segment swaps with the subarray
+  (row-stacking) bits.
+* SAM-IO / SAM-en: the segment swaps with the extended column / rank bits.
+* 8-bit granularity designs swap only a 2-bit segment.
+
+The mapping is its own inverse (it is a bit permutation built from swaps),
+which the property tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+
+
+@dataclass(frozen=True)
+class StrideMapping:
+    """One stride-mode bit-swap mapping.
+
+    ``segment_bits`` is the width of the swapped segment (3 for 4-bit
+    strided granularity, 2 for 8-bit).  ``offset_lsb`` is where the
+    segment sits inside the page offset (just above the 16B strided-data
+    offset, Figure 10).  ``target_lsb`` is the physical position the
+    segment is swapped with (subarray bits for SAM-sub, extended column /
+    rank bits for SAM-IO / SAM-en).
+    """
+
+    name: str
+    segment_bits: int
+    offset_lsb: int
+    target_lsb: int
+
+    def __post_init__(self) -> None:
+        if self.segment_bits <= 0:
+            raise ValueError("segment must be at least one bit")
+        lo = range(self.offset_lsb, self.offset_lsb + self.segment_bits)
+        hi = range(self.target_lsb, self.target_lsb + self.segment_bits)
+        if set(lo) & set(hi):
+            raise ValueError("swapped segments overlap")
+
+    def apply(self, phys: int) -> int:
+        """Swap the two bit segments of a physical address."""
+        mask = (1 << self.segment_bits) - 1
+        low = (phys >> self.offset_lsb) & mask
+        high = (phys >> self.target_lsb) & mask
+        phys &= ~(mask << self.offset_lsb)
+        phys &= ~(mask << self.target_lsb)
+        phys |= high << self.offset_lsb
+        phys |= low << self.target_lsb
+        return phys
+
+    def undo(self, phys: int) -> int:
+        """Inverse mapping (== apply, since swaps are involutions)."""
+        return self.apply(phys)
+
+
+def sam_sub_mapping(granularity_bits: int = 4) -> StrideMapping:
+    """SAM-sub: segment swaps with the row-stacking (subarray) bits.
+
+    The physical layout of Table 2 places the row bits above
+    rank/bank/channel/column/offset; the vertical-stacking bits are the
+    low row bits (bit 24 up in our 13-bit-offset+11-bit-low layout)."""
+    segment = 3 if granularity_bits == 4 else 2
+    return StrideMapping(
+        name=f"SAM-sub/{granularity_bits}-bit",
+        segment_bits=segment,
+        offset_lsb=4,  # just above the 16B strided-data offset
+        target_lsb=24,  # low row bits (rows of one bank)
+    )
+
+
+def sam_io_mapping(granularity_bits: int = 4) -> StrideMapping:
+    """SAM-IO / SAM-en: segment swaps with extended column (+ rank) bits."""
+    segment = 3 if granularity_bits == 4 else 2
+    return StrideMapping(
+        name=f"SAM-IO/{granularity_bits}-bit",
+        segment_bits=segment,
+        offset_lsb=4,
+        target_lsb=PAGE_BITS,  # first bits above the page offset
+    )
+
+
+class PageTable:
+    """A minimal single-level page table with stride-mode translation.
+
+    Pages are 4KB; ``map_page`` binds a virtual page to a physical frame.
+    ``translate`` performs the regular walk; ``translate_stride`` applies
+    the stride-mode bit swap afterwards, the way the kernel module of
+    Section 5.2 would for sload/sstore mappings.
+    """
+
+    def __init__(self, mapping: StrideMapping | None = None) -> None:
+        self._frames = {}
+        self.mapping = mapping
+
+    def map_page(self, vpage: int, pframe: int) -> None:
+        if vpage < 0 or pframe < 0:
+            raise ValueError("page numbers must be non-negative")
+        self._frames[vpage] = pframe
+
+    def translate(self, vaddr: int) -> int:
+        vpage, offset = divmod(vaddr, PAGE_SIZE)
+        try:
+            frame = self._frames[vpage]
+        except KeyError:
+            raise KeyError(f"page fault at {vaddr:#x}") from None
+        return frame * PAGE_SIZE + offset
+
+    def translate_stride(self, vaddr: int) -> int:
+        if self.mapping is None:
+            raise RuntimeError("no stride mapping configured")
+        return self.mapping.apply(self.translate(vaddr))

@@ -1,0 +1,173 @@
+"""Tests for the sector cache and the hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.sector import SectorCache, full_mask
+
+
+def small_cache(sectors=4, ways=2, sets=4):
+    return SectorCache(
+        size_bytes=ways * sets * 64, ways=ways, sectors=sectors
+    )
+
+
+class TestSectorCache:
+    def test_cold_miss(self):
+        c = small_cache()
+        hit, missing = c.lookup(0, 0b0001)
+        assert not hit and missing == 0b0001
+
+    def test_fill_then_hit(self):
+        c = small_cache()
+        c.fill(0, 0b1111)
+        hit, missing = c.lookup(0, 0b0110)
+        assert hit and missing == 0
+
+    def test_partial_sector_fill(self):
+        """A strided fill validates only its sector (Section 5.1.1)."""
+        c = small_cache()
+        c.fill(0, 0b0010)
+        hit, missing = c.lookup(0, 0b0010)
+        assert hit
+        hit, missing = c.lookup(0, 0b0001)
+        assert not hit and missing == 0b0001
+        assert c.stats.partial_hits == 1
+
+    def test_incremental_sector_fills_accumulate(self):
+        c = small_cache()
+        for s in range(4):
+            c.fill(0, 1 << s)
+        hit, _ = c.lookup(0, full_mask(4))
+        assert hit
+
+    def test_lru_eviction(self):
+        c = small_cache(ways=2, sets=1)
+        c.fill(0, 0b1111)
+        c.fill(64, 0b1111)
+        c.lookup(0, 0b0001)  # touch line 0 -> line 64 is LRU
+        victim = c.fill(128, 0b1111)
+        assert victim is not None and victim.line_addr == 64
+
+    def test_dirty_eviction_reports_writeback(self):
+        c = small_cache(ways=1, sets=1)
+        c.fill(0, 0b1111, dirty=True)
+        victim = c.fill(64, 0b1111)
+        assert victim.dirty_mask == 0b1111
+        assert c.stats.writebacks == 1
+
+    def test_mark_dirty_requires_valid_sectors(self):
+        c = small_cache()
+        assert not c.mark_dirty(0, 0b0001)
+        c.fill(0, 0b0001)
+        assert c.mark_dirty(0, 0b0001)
+        assert not c.mark_dirty(0, 0b0010)  # sector not valid
+
+    def test_sector_mask_for(self):
+        c = small_cache(sectors=4)
+        assert c.sector_mask_for(0, 8) == 0b0001
+        assert c.sector_mask_for(16, 16) == 0b0010
+        assert c.sector_mask_for(8, 16) == 0b0011
+        assert c.sector_mask_for(64 + 48, 16) == 0b1000
+
+    def test_mask_rejects_line_crossing(self):
+        c = small_cache()
+        with pytest.raises(ValueError):
+            c.sector_mask_for(60, 8)
+
+    def test_eight_sector_configuration(self):
+        """SSC-DSD granularity: 8 sectors of 8B."""
+        c = small_cache(sectors=8)
+        assert c.sector_bytes == 8
+        assert c.sector_mask_for(24, 8) == 1 << 3
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.fill(0, 0b1111, dirty=True)
+        ev = c.invalidate(0)
+        assert ev.dirty_mask == 0b1111
+        assert not c.resident(0)
+
+    def test_flush(self):
+        c = small_cache()
+        c.fill(0, 0b1111, dirty=True)
+        c.fill(64, 0b1111)
+        dirty = c.flush()
+        assert len(dirty) == 1 and dirty[0].line_addr == 0
+        assert not c.resident(64)
+
+    def test_hit_rate_stat(self):
+        c = small_cache()
+        c.fill(0, 0b1111)
+        c.lookup(0, 1)
+        c.lookup(64, 1)
+        assert c.stats.hit_rate == 0.5
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SectorCache(size_bytes=100, ways=3)
+
+
+class TestHierarchy:
+    def make(self, sectors=4):
+        cfg = HierarchyConfig(
+            l1_bytes=1024, l2_bytes=4096, llc_bytes=16384, sectors=sectors
+        )
+        return CacheHierarchy(cfg, per_core_l1=2)
+
+    def test_miss_everywhere(self):
+        h = self.make()
+        res = h.lookup(0, 0, 0b0001)
+        assert res.level is None and res.missing_mask == 0b0001
+
+    def test_fill_hits_l1(self):
+        h = self.make()
+        h.fill_from_memory(0, 0, 0b1111)
+        res = h.lookup(0, 0, 0b0001)
+        assert res.level == 1
+
+    def test_private_l1(self):
+        h = self.make()
+        h.fill_from_memory(0, 0, 0b1111)
+        res = h.lookup(1, 0, 0b0001)  # other core: L1 miss, L2 hit
+        assert res.level == 2
+
+    def test_l2_hit_fills_l1(self):
+        h = self.make()
+        h.fill_from_memory(0, 0, 0b1111)
+        h.lookup(1, 0, 0b0001)
+        res = h.lookup(1, 0, 0b0001)
+        assert res.level == 1
+
+    def test_llc_capacity_backs_l1(self):
+        h = self.make()
+        # fill enough lines to overflow L1 (16 lines) but not LLC
+        for i in range(64):
+            h.fill_from_memory(0, i * 64, 0b1111)
+        res = h.lookup(0, 0, 0b0001)
+        assert res.level in (2, 3)
+
+    def test_write_hit_marks_dirty(self):
+        h = self.make()
+        h.fill_from_memory(0, 0, 0b1111)
+        res = h.write(0, 0, 0b0001)
+        assert res.level is not None
+        dirty = h.flush_dirty()
+        assert any(e.line_addr == 0 for e in dirty)
+
+    def test_write_miss_reports_fetch(self):
+        h = self.make()
+        res = h.write(0, 0, 0b0001)
+        assert res.level is None and res.missing_mask == 0b0001
+
+    def test_complete_write_fill(self):
+        h = self.make()
+        h.complete_write_fill(0, 0, 0b0011)
+        dirty = h.flush_dirty()
+        assert dirty and dirty[0].dirty_mask == 0b0011
+
+    def test_latencies_configured(self):
+        h = self.make()
+        h.fill_from_memory(0, 0, 0b1111)
+        assert h.lookup(0, 0, 1).latency == h.config.l1_latency
+        assert h.lookup(1, 0, 1).latency == h.config.l2_latency

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure12_args(self):
+        args = build_parser().parse_args(
+            ["figure12", "--ta", "64", "--designs", "SAM-en"]
+        )
+        assert args.ta == 64 and args.designs == ["SAM-en"]
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "SELECT f1 FROM Ta"])
+        assert args.scheme == "SAM-en" and not args.baseline
+
+
+class TestCommands:
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "SAM-en" in out and "RC-NVM-wd" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Reliability" in capsys.readouterr().out
+
+    def test_figure14c(self, capsys):
+        assert main(["figure14c"]) == 0
+        assert "SAM-sub" in capsys.readouterr().out
+
+    def test_reliability(self, capsys):
+        assert main(["reliability", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "GS-DRAM" in out and "False" in out
+
+    def test_query_runs(self, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT SUM(f9) FROM Ta WHERE f10 > 7500",
+                "--scheme", "SAM-en", "--baseline",
+                "--ta", "128", "--tb", "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "gathers" in out
+
+    def test_figure12_small(self, capsys):
+        code = main(
+            [
+                "figure12", "--ta", "64", "--tb", "64",
+                "--designs", "SAM-en", "--queries", "Q3",
+            ]
+        )
+        assert code == 0
+        assert "Gmean" in capsys.readouterr().out
+
+    def test_figure15_unknown_panel(self, capsys):
+        code = main(["figure15", "--ta", "64", "--panels", "z"])
+        assert code == 2

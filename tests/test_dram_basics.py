@@ -1,0 +1,126 @@
+"""Tests for timing presets, geometry, and address mapping."""
+
+import pytest
+
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.geometry import DEFAULT_GEOMETRY, Geometry
+from repro.dram.timing import DDR4_2400, RRAM, preset
+
+
+class TestTiming:
+    def test_table2_ddr4_values(self):
+        t = DDR4_2400
+        assert (t.CL, t.tRCD, t.tRP) == (17, 17, 17)
+        assert (t.tRTR, t.tCCD_S, t.tCCD_L) == (2, 4, 6)
+        assert t.tMOD_IO == t.tRTR  # Section 5.3
+
+    def test_table2_rram_values(self):
+        t = RRAM
+        assert (t.CL, t.tRCD, t.tRP) == (17, 35, 1)
+        assert t.tREFI == 0  # non-volatile
+
+    def test_rram_write_recovery_much_longer(self):
+        assert RRAM.tWR > 5 * DDR4_2400.tWR
+
+    def test_preset_lookup(self):
+        assert preset("DDR4-2400") is DDR4_2400
+        assert preset("RRAM") is RRAM
+        with pytest.raises(KeyError):
+            preset("HBM3")
+
+    def test_scaled_increases_array_latencies_only(self):
+        t = DDR4_2400.scaled("x", 1.33)
+        assert t.tRCD == round(17 * 1.33)
+        assert t.tRP == round(17 * 1.33)
+        assert t.tRAS == round(39 * 1.33)
+        assert t.CL == DDR4_2400.CL  # interface unchanged
+        assert t.tBL == DDR4_2400.tBL
+
+    def test_ns_conversion(self):
+        assert DDR4_2400.ns(1200) == pytest.approx(1000, rel=0.01)
+
+
+class TestGeometry:
+    def test_table2_organization(self):
+        g = DEFAULT_GEOMETRY
+        assert g.ranks == 2
+        assert g.banks == 16
+        assert g.data_chips == 16 and g.parity_chips == 2
+        assert g.chip_io_bits == 4
+
+    def test_row_is_8kb(self):
+        assert DEFAULT_GEOMETRY.row_bytes == 8192
+        assert DEFAULT_GEOMETRY.lines_per_row == 128
+
+    def test_burst_moves_one_cacheline(self):
+        assert DEFAULT_GEOMETRY.bytes_per_burst == 64
+
+    def test_data_bus_width(self):
+        assert DEFAULT_GEOMETRY.data_bus_bits == 64
+
+    def test_capacity(self):
+        g = DEFAULT_GEOMETRY
+        # 2 ranks x 16 banks x 128K rows x 8KB = 32 GiB of data
+        assert g.capacity_bytes == 2 * 16 * 131072 * 8192
+
+    def test_rows_per_bank(self):
+        g = DEFAULT_GEOMETRY
+        assert g.rows_per_bank == g.subarrays_per_bank * g.rows_per_subarray
+
+
+class TestAddressMapper:
+    def setup_method(self):
+        self.mapper = AddressMapper()
+
+    def test_roundtrip(self):
+        for addr in (0, 64, 8192, 123456 * 64, (1 << 30) + 4096):
+            decoded = self.mapper.decode(addr)
+            assert self.mapper.encode(decoded) == addr
+
+    def test_field_order_offset_first(self):
+        # consecutive lines share everything but the column
+        a = self.mapper.decode(0)
+        b = self.mapper.decode(64)
+        assert a.column == 0 and b.column == 1
+        assert a.bank == b.bank and a.row == b.row
+
+    def test_row_crossing_changes_bank(self):
+        # rw:rk:bk:ch:cl:offset -- the next 8KB region is the next bank
+        a = self.mapper.decode(0)
+        b = self.mapper.decode(8192)
+        assert b.bank == a.bank + 1
+        assert a.row == b.row
+
+    def test_rank_bit_above_banks(self):
+        a = self.mapper.decode(0)
+        b = self.mapper.decode(8192 * 16)
+        assert b.rank == 1 and a.rank == 0
+
+    def test_row_above_rank(self):
+        stride = 8192 * 16 * 2  # full bank/rank sweep
+        b = self.mapper.decode(stride)
+        assert b.row == 1 and b.bank == 0 and b.rank == 0
+
+    def test_offset_within_line(self):
+        d = self.mapper.decode(100)
+        assert d.offset == 36 and d.column == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            self.mapper.decode(-1)
+
+    def test_line_address(self):
+        assert self.mapper.line_address(130) == 128
+
+    def test_line_key_ignores_offset(self):
+        a = self.mapper.decode(128)
+        b = self.mapper.decode(130)
+        assert a.line_key() == b.line_key()
+
+    def test_bank_group(self):
+        d = DecodedAddress(0, 0, 7, 0, 0, 0)
+        assert d.bank_group == 1
+
+    def test_non_power_of_two_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapper(Geometry(ranks=3))

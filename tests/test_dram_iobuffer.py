@@ -1,0 +1,181 @@
+"""Tests for the functional I/O-buffer path (Figures 3, 7, 8, 9)."""
+
+import random
+
+import pytest
+
+from repro.dram.iobuffer import (
+    IOModeRegister,
+    block_column,
+    deserialize_stride_fine,
+    deserialize_x4,
+    lane,
+    pack_line_default,
+    pack_line_transposed,
+    serialize_stride,
+    serialize_stride_2d,
+    serialize_stride_fine,
+    serialize_x4,
+    unpack_line_default,
+    unpack_line_transposed,
+    with_lane,
+)
+
+rng = random.Random(1234)
+
+
+def random_line():
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+def random_block():
+    return rng.randrange(1 << 32)
+
+
+class TestLanes:
+    def test_lane_extraction(self):
+        block = 0xDDCCBBAA
+        assert lane(block, 0) == 0xAA
+        assert lane(block, 3) == 0xDD
+
+    def test_with_lane(self):
+        block = with_lane(0, 2, 0x5A)
+        assert lane(block, 2) == 0x5A
+        assert lane(block, 0) == 0
+
+    def test_lane_out_of_range(self):
+        with pytest.raises(ValueError):
+            lane(0, 4)
+
+    def test_block_column_is_two_bits_per_lane(self):
+        # column n gathers bits {2n, 2n+1} of each lane (Figure 8(b))
+        block = with_lane(0, 0, 0b11)  # lane 0 bits 0,1 set
+        assert block_column(block, 0) == 0b11
+        assert block_column(block, 1) == 0
+
+
+class TestSerialization:
+    def test_x4_roundtrip(self):
+        for _ in range(50):
+            block = random_block()
+            assert deserialize_x4(serialize_x4(block)) == block
+
+    def test_x4_beats_are_nibbles(self):
+        beats = serialize_x4(random_block())
+        assert len(beats) == 8
+        assert all(0 <= b < 16 for b in beats)
+
+    def test_stride_serializer_sends_one_lane_per_buffer(self):
+        buffers = [with_lane(0, 2, 0x10 + j) for j in range(4)]
+        beats = serialize_stride(buffers, 2)
+        # DQ j carries lane 2 of buffer j; reassemble and check
+        for j in range(4):
+            value = 0
+            for k, beat in enumerate(beats):
+                value |= ((beat >> j) & 1) << k
+            assert value == 0x10 + j
+
+    def test_stride_needs_four_buffers(self):
+        with pytest.raises(ValueError):
+            serialize_stride([0, 0], 0)
+
+    def test_2d_serializer_sends_column_per_buffer(self):
+        buffers = [random_block() for _ in range(4)]
+        for n in range(4):
+            beats = serialize_stride_2d(buffers, n)
+            for j in range(4):
+                value = 0
+                for k, beat in enumerate(beats):
+                    value |= ((beat >> j) & 1) << k
+                assert value == block_column(buffers[j], n)
+
+    def test_fine_granularity_four_symbols_on_two_dqs(self):
+        buffers = [with_lane(0, 0, j + 1) for j in range(4)]
+        beats = serialize_stride_fine(buffers, 0)
+        symbols = deserialize_stride_fine(beats)
+        assert symbols == [1, 2, 3, 4]
+
+    def test_fine_granularity_upper_dqs_idle(self):
+        buffers = [random_block() for _ in range(4)]
+        beats = serialize_stride_fine(buffers, 0)
+        assert all(beat < 4 for beat in beats)  # only DQ0/DQ1 toggle
+
+    def test_fine_granularity_lane_pair_selection(self):
+        buffers = [with_lane(0, 2, 0xF) for _ in range(4)]
+        assert deserialize_stride_fine(
+            serialize_stride_fine(buffers, 1)
+        ) == [0xF & 0xF] * 4
+
+
+class TestLinePacking:
+    def test_default_roundtrip(self):
+        for _ in range(20):
+            line = random_line()
+            assert unpack_line_default(pack_line_default(line)) == line
+
+    def test_transposed_roundtrip(self):
+        for _ in range(20):
+            line = random_line()
+            assert unpack_line_transposed(pack_line_transposed(line)) == line
+
+    def test_default_layout_codeword_spans_two_beats(self):
+        """Figure 4(b): sector s occupies beats 2s, 2s+1 of all chips."""
+        line = bytearray(64)
+        line[0:16] = bytes(range(1, 17))  # only sector 0 nonzero
+        blocks = pack_line_default(bytes(line))
+        for block in blocks:
+            for l in range(4):
+                # lane bits for beats 2..7 must be zero
+                assert lane(block, l) >> 2 == 0
+
+    def test_transposed_layout_lane_is_symbol(self):
+        """Figure 4(c): sector n maps to lane n of every chip."""
+        line = bytearray(64)
+        line[16:32] = bytes(range(1, 17))  # only sector 1 nonzero
+        blocks = pack_line_transposed(bytes(line))
+        for block in blocks:
+            assert lane(block, 0) == 0
+            assert lane(block, 2) == 0
+            assert lane(block, 3) == 0
+
+    def test_layouts_differ_on_bus(self):
+        line = random_line()
+        assert pack_line_default(line) != pack_line_transposed(line)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack_line_default(b"short")
+
+
+class TestModeRegister:
+    def test_default_x4(self):
+        reg = IOModeRegister()
+        assert reg.enabled_drivers == (0, 1, 2, 3)
+        assert not reg.is_stride
+
+    def test_stride_modes_drive_one_lane_per_buffer(self):
+        reg = IOModeRegister()
+        reg.set_mode("Sx4_3")
+        assert reg.enabled_drivers == (3, 7, 11, 15)  # Figure 7's table
+        assert reg.is_stride and reg.stride_lane == 3
+
+    def test_x16_enables_all_drivers(self):
+        reg = IOModeRegister()
+        reg.set_mode("x16")
+        assert reg.enabled_drivers == tuple(range(16))
+
+    def test_register_is_one_hot(self):
+        reg = IOModeRegister()
+        for mode in ("x4", "x8", "x16", "Sx4_0", "Sx4_1", "Sx4_2", "Sx4_3"):
+            reg.set_mode(mode)
+            assert bin(reg.bits).count("1") == 1
+
+    def test_unknown_mode_rejected(self):
+        reg = IOModeRegister()
+        with pytest.raises(ValueError):
+            reg.set_mode("x32")
+
+    def test_stride_lane_on_regular_mode_raises(self):
+        reg = IOModeRegister()
+        with pytest.raises(ValueError):
+            _ = reg.stride_lane

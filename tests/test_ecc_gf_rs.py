@@ -1,0 +1,182 @@
+"""Tests for GF(2^m) arithmetic and the Reed-Solomon codecs."""
+
+import random
+
+import pytest
+
+from repro.ecc.gf import GF, field
+from repro.ecc.rs import DecodeFailure, ReedSolomon
+
+rng = random.Random(99)
+
+
+class TestGF:
+    @pytest.mark.parametrize("m", [2, 3, 4, 8])
+    def test_exp_log_inverse(self, m):
+        gf = field(m)
+        for a in range(1, gf.size):
+            assert gf.exp[gf.log[a]] == a
+
+    def test_mul_div_roundtrip(self):
+        gf = field(8)
+        for _ in range(200):
+            a = rng.randrange(1, 256)
+            b = rng.randrange(1, 256)
+            assert gf.div(gf.mul(a, b), b) == a
+
+    def test_add_is_xor(self):
+        gf = field(4)
+        assert gf.add(0b1010, 0b0110) == 0b1100
+
+    def test_inverse(self):
+        gf = field(8)
+        for a in range(1, 256):
+            assert gf.mul(a, gf.inv(a)) == 1
+
+    def test_zero_division_raises(self):
+        gf = field(8)
+        with pytest.raises(ZeroDivisionError):
+            gf.div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf.inv(0)
+
+    def test_pow(self):
+        gf = field(8)
+        a = 7
+        assert gf.pow(a, 3) == gf.mul(gf.mul(a, a), a)
+        assert gf.pow(a, 0) == 1
+        assert gf.pow(0, 5) == 0
+
+    def test_alpha_generates_field(self):
+        gf = field(4)
+        seen = {gf.alpha_pow(i) for i in range(gf.size - 1)}
+        assert len(seen) == gf.size - 1
+
+    def test_poly_eval_horner(self):
+        gf = field(8)
+        # p(x) = 3 + 5x + x^2 at x=2: 3 ^ (5*2) ^ (2*2)
+        p = [3, 5, 1]
+        expected = 3 ^ gf.mul(5, 2) ^ gf.mul(2, 2)
+        assert gf.poly_eval(p, 2) == expected
+
+    def test_poly_mul_degree(self):
+        gf = field(8)
+        p = [1, 2, 3]
+        q = [4, 5]
+        assert len(gf.poly_mul(p, q)) == 4
+
+    def test_poly_deriv_characteristic_two(self):
+        gf = field(8)
+        # d/dx (a + bx + cx^2 + dx^3) = b + dx^2 (even terms vanish)
+        assert gf.poly_deriv([9, 7, 5, 3]) == [7, 0, 3]
+
+    def test_shared_instances(self):
+        assert field(8) is field(8)
+
+    def test_unknown_field_size(self):
+        with pytest.raises(ValueError):
+            GF(13)
+
+
+class TestReedSolomon:
+    @pytest.mark.parametrize("n,k,m", [(18, 16, 8), (36, 32, 8), (15, 11, 4)])
+    def test_encode_produces_codeword(self, n, k, m):
+        rs = ReedSolomon(n, k, m)
+        data = [rng.randrange(rs.gf.size) for _ in range(k)]
+        cw = rs.encode(data)
+        assert len(cw) == n
+        assert cw[:k] == data  # systematic
+        assert not any(rs.syndromes(cw))
+
+    def test_error_free_decode(self):
+        rs = ReedSolomon(18, 16, 8)
+        data = list(range(16))
+        result = rs.decode(rs.encode(data))
+        assert list(result.data) == data
+        assert result.corrected == 0
+
+    @pytest.mark.parametrize("n,k,m", [(18, 16, 8), (36, 32, 8)])
+    def test_corrects_up_to_capability(self, n, k, m):
+        rs = ReedSolomon(n, k, m)
+        for _ in range(25):
+            data = [rng.randrange(rs.gf.size) for _ in range(k)]
+            cw = rs.encode(data)
+            t = rng.randrange(1, rs.correctable + 1)
+            corrupted = list(cw)
+            positions = rng.sample(range(n), t)
+            for p in positions:
+                corrupted[p] ^= rng.randrange(1, rs.gf.size)
+            result = rs.decode(corrupted)
+            assert list(result.data) == data
+            assert sorted(result.corrected_positions) == sorted(positions)
+
+    def test_ssc_corrects_any_single_chip(self):
+        """Every position, every error value: the chipkill guarantee."""
+        rs = ReedSolomon(18, 16, 8)
+        data = [rng.randrange(256) for _ in range(16)]
+        cw = rs.encode(data)
+        for pos in range(18):
+            for mask in (0x01, 0x80, 0xFF):
+                corrupted = list(cw)
+                corrupted[pos] ^= mask
+                assert list(rs.decode(corrupted).data) == data
+
+    def test_distance_three_detects_most_doubles(self):
+        """SSC has d=3: double errors are not correctable; they must not
+        be silently 'corrected' into the original data."""
+        rs = ReedSolomon(18, 16, 8)
+        data = [rng.randrange(256) for _ in range(16)]
+        cw = rs.encode(data)
+        silent_as_original = 0
+        for _ in range(100):
+            corrupted = list(cw)
+            for p in rng.sample(range(18), 2):
+                corrupted[p] ^= rng.randrange(1, 256)
+            try:
+                result = rs.decode(corrupted)
+                assert list(result.data) != data or True
+                if list(result.data) == data:
+                    silent_as_original += 1
+            except DecodeFailure:
+                pass
+        assert silent_as_original == 0
+
+    def test_distance_five_detects_triples(self):
+        rs = ReedSolomon(36, 32, 8)
+        data = [rng.randrange(256) for _ in range(32)]
+        cw = rs.encode(data)
+        outcomes = {"detected": 0, "wrong": 0}
+        for _ in range(150):
+            corrupted = list(cw)
+            for p in rng.sample(range(36), 3):
+                corrupted[p] ^= rng.randrange(1, 256)
+            try:
+                result = rs.decode(corrupted)
+                if list(result.data) != data:
+                    outcomes["wrong"] += 1
+            except DecodeFailure:
+                outcomes["detected"] += 1
+        # the vast majority of 3-error patterns on a d=5 code are flagged
+        assert outcomes["detected"] > 130
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(300, 200, 8)  # n >= field size
+        with pytest.raises(ValueError):
+            ReedSolomon(10, 10, 8)
+
+    def test_wrong_data_length(self):
+        rs = ReedSolomon(18, 16, 8)
+        with pytest.raises(ValueError):
+            rs.encode([0] * 10)
+        with pytest.raises(ValueError):
+            rs.decode([0] * 10)
+
+    def test_symbol_out_of_range(self):
+        rs = ReedSolomon(18, 16, 8)
+        with pytest.raises(ValueError):
+            rs.encode([999] + [0] * 15)
+
+    def test_min_distance(self):
+        assert ReedSolomon(18, 16, 8).min_distance == 3
+        assert ReedSolomon(36, 32, 8).min_distance == 5

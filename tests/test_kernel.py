@@ -1,0 +1,99 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.kernel import Kernel, SimulationError
+
+
+def test_runs_events_in_time_order():
+    k = Kernel()
+    order = []
+    k.schedule(5, lambda: order.append("b"))
+    k.schedule(1, lambda: order.append("a"))
+    k.schedule(9, lambda: order.append("c"))
+    k.run()
+    assert order == ["a", "b", "c"]
+    assert k.now == 9
+
+
+def test_same_time_events_run_in_schedule_order():
+    k = Kernel()
+    order = []
+    for tag in "abc":
+        k.schedule(3, lambda t=tag: order.append(t))
+    k.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_schedule_at_absolute_time():
+    k = Kernel()
+    seen = []
+    k.schedule_at(7, lambda: seen.append(k.now))
+    k.run()
+    assert seen == [7]
+
+
+def test_cannot_schedule_in_past():
+    k = Kernel()
+    k.schedule(2, lambda: None)
+    k.run()
+    assert k.now == 2
+    with pytest.raises(SimulationError):
+        k.schedule_at(1, lambda: None)
+
+
+def test_negative_delay_rejected():
+    k = Kernel()
+    with pytest.raises(SimulationError):
+        k.schedule(-1, lambda: None)
+
+
+def test_events_can_schedule_more_events():
+    k = Kernel()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            k.schedule(2, lambda: chain(n + 1))
+
+    k.schedule(0, lambda: chain(0))
+    k.run()
+    assert seen == [0, 1, 2, 3]
+    assert k.now == 6
+
+
+def test_run_until_leaves_future_events_queued():
+    k = Kernel()
+    seen = []
+    k.schedule(1, lambda: seen.append(1))
+    k.schedule(10, lambda: seen.append(10))
+    executed = k.run(until=5)
+    assert seen == [1]
+    assert executed == 1
+    assert k.pending() == 1
+    k.run()
+    assert seen == [1, 10]
+
+
+def test_max_events_guard():
+    k = Kernel()
+
+    def forever():
+        k.schedule(1, forever)
+
+    k.schedule(0, forever)
+    with pytest.raises(SimulationError):
+        k.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    k = Kernel()
+    assert not k.step()
+
+
+def test_step_advances_time():
+    k = Kernel()
+    k.schedule(4, lambda: None)
+    assert k.step()
+    assert k.now == 4

@@ -1,0 +1,142 @@
+"""Tests for the power and area models."""
+
+import pytest
+
+from repro.area import (
+    TrackBudget,
+    all_designs,
+    sam_en_area,
+    sam_io_area,
+    sam_sub_area,
+    sam_sub_global_bitlines,
+    wire_overhead,
+)
+from repro.core import make_scheme
+from repro.dram.controller import CommandStats
+from repro.dram.timing import DDR4_2400, RRAM
+from repro.power import PowerConfig, PowerModel
+
+
+class TestWiring:
+    def test_paper_track_budget(self):
+        """Section 6.1: 128 GWL + 12 LDL/WLsel tracks per subarray."""
+        budget = TrackBudget()
+        assert budget.baseline == 140
+
+    def test_sam_sub_global_bitlines_5_7_percent(self):
+        assert sam_sub_global_bitlines() == pytest.approx(8 / 140)
+        assert abs(sam_sub_global_bitlines() - 0.057) < 0.001
+
+    def test_wire_overhead_scales(self):
+        assert wire_overhead(14) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            wire_overhead(-1)
+
+
+class TestAreaReports:
+    def test_paper_totals(self):
+        """The headline numbers of Section 6.1."""
+        assert abs(sam_sub_area().silicon_fraction - 0.072) < 0.002
+        assert sam_io_area().silicon_fraction < 0.0001
+        assert abs(sam_en_area().silicon_fraction - 0.007) < 0.001
+
+    def test_figure14c_inventory(self):
+        designs = all_designs()
+        assert designs["RC-NVM-wd"].silicon_fraction > designs[
+            "RC-NVM-bit"
+        ].silicon_fraction
+        assert designs["GS-DRAM-ecc"].storage_fraction == 0.125
+        assert designs["two-copy"].storage_fraction == 1.0
+
+    def test_metal_layers(self):
+        designs = all_designs()
+        assert designs["RC-NVM-bit"].extra_metal_layers == 2
+        assert designs["SAM-sub"].extra_metal_layers == 0
+
+
+class TestPowerModel:
+    def make(self, config=None, timing=DDR4_2400):
+        return PowerModel(config or PowerConfig(), timing)
+
+    def stats(self, **kw):
+        s = CommandStats()
+        for key, value in kw.items():
+            setattr(s, key, value)
+        return s
+
+    def test_background_scales_with_time(self):
+        model = self.make()
+        a = model.evaluate(self.stats(), 1000)
+        b = model.evaluate(self.stats(), 2000)
+        assert b.background_nj == pytest.approx(2 * a.background_nj)
+
+    def test_read_energy_positive(self):
+        model = self.make()
+        out = model.evaluate(self.stats(reads=100), 1000)
+        assert out.rdwr_nj > 0
+
+    def test_stride_reads_cost_more_than_regular(self):
+        """SAM-IO's gathers burn x16-class current + internal bursts."""
+        sam_io = PowerConfig(name="SAM-IO", stride_internal_bursts=4)
+        model = self.make(sam_io)
+        regular = model.evaluate(self.stats(reads=100), 1000).rdwr_nj
+        stride = model.evaluate(
+            self.stats(reads=100, stride_mode_reads=100), 1000
+        ).rdwr_nj
+        assert stride > 1.5 * regular
+
+    def test_sam_en_cheaper_than_sam_io(self):
+        io_cfg = PowerConfig(name="SAM-IO", stride_internal_bursts=4)
+        en_cfg = PowerConfig(
+            name="SAM-en", stride_internal_bursts=1, stride_act_fraction=0.25
+        )
+        stats = self.stats(reads=100, stride_mode_reads=100, col_acts=10)
+        io_e = self.make(io_cfg).evaluate(stats, 1000).total_nj
+        en_e = self.make(en_cfg).evaluate(stats, 1000).total_nj
+        assert en_e < io_e
+
+    def test_rram_background_near_zero(self):
+        rram_cfg = PowerConfig(name="rc", rram=True)
+        model = PowerModel(rram_cfg, RRAM)
+        dram = self.make()
+        assert (
+            model.background_power_mw() < 0.05 * dram.background_power_mw()
+        )
+
+    def test_rram_writes_expensive(self):
+        rram_cfg = PowerConfig(name="rc", rram=True)
+        model = PowerModel(rram_cfg, RRAM)
+        reads = model.evaluate(self.stats(reads=100), 1000).rdwr_nj
+        writes = model.evaluate(self.stats(writes=100), 1000).rdwr_nj
+        assert writes > 2 * reads
+
+    def test_refresh_energy_counted(self):
+        model = self.make()
+        without = model.evaluate(self.stats(), 1000).act_nj
+        with_ref = model.evaluate(self.stats(refreshes=10), 1000).act_nj
+        assert with_ref > without
+
+    def test_power_breakdown_components(self):
+        model = self.make()
+        out = model.evaluate(self.stats(reads=10, acts=5), 10000)
+        assert out.total_nj == pytest.approx(
+            out.background_nj + out.act_nj + out.rdwr_nj
+        )
+        assert out.power_mw("total") == pytest.approx(
+            out.power_mw("background")
+            + out.power_mw("act")
+            + out.power_mw("rdwr")
+        )
+
+    def test_background_scale_applied(self):
+        scaled = PowerConfig(name="sub", background_scale=1.02)
+        a = self.make().background_power_mw()
+        b = self.make(scaled).background_power_mw()
+        assert b == pytest.approx(1.02 * a)
+
+    def test_scheme_power_configs_integrate(self):
+        for name in ("SAM-IO", "SAM-en", "SAM-sub", "RC-NVM-wd"):
+            scheme = make_scheme(name)
+            model = PowerModel(scheme.power_config, scheme.timing)
+            out = model.evaluate(self.stats(reads=10), 1000)
+            assert out.total_nj > 0

@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.harness.report import bar_chart, grouped_bar_chart, sweep_chart
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_labels_aligned(self):
+        text = bar_chart({"short": 1.0, "longer-name": 1.0})
+        starts = [line.index("#") for line in text.splitlines()]
+        assert len(set(starts)) == 1
+
+    def test_reference_marker(self):
+        text = bar_chart({"a": 0.5, "b": 2.0}, width=10, reference=1.0)
+        assert "|" in text.splitlines()[0]
+
+    def test_values_printed(self):
+        text = bar_chart({"a": 3.14159}, fmt="{:.1f}")
+        assert "3.1" in text
+
+    def test_empty(self):
+        assert bar_chart({}) == "(empty)"
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0})
+        assert "#" not in text
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        text = grouped_bar_chart(
+            {"Q1": {"SAM": 4.0, "base": 1.0}, "Q2": {"SAM": 3.0,
+                                                     "base": 1.0}}
+        )
+        assert "Q1" in text and "Q2" in text
+        assert text.count("SAM") == 2
+
+
+class TestSweepChart:
+    def test_plots_series(self):
+        points = {0.25: {"SAM": 2.0}, 1.0: {"SAM": 6.0}}
+        text = sweep_chart(points, ["SAM"])
+        assert "o" in text
+        assert "o=SAM" in text
+
+    def test_multiple_series_glyphs(self):
+        points = {1: {"a": 1.0, "b": 2.0}, 2: {"a": 2.0, "b": 4.0}}
+        text = sweep_chart(points, ["a", "b"])
+        assert "o=a" in text and "x=b" in text
+
+    def test_empty(self):
+        assert sweep_chart({}, ["a"]) == "(empty)"
+
+    def test_missing_series_points_skipped(self):
+        points = {1: {"a": 1.0}, 2: {}}
+        text = sweep_chart(points, ["a"])
+        assert "o" in text

@@ -1,0 +1,147 @@
+"""Tests for the SQL front end (the Table 3 statement subset)."""
+
+import pytest
+
+from repro.imdb.query import (
+    AggregateQuery,
+    InsertQuery,
+    JoinQuery,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.imdb.sql import SQLError, parse
+
+
+class TestSelect:
+    def test_q1_shape(self):
+        q = parse("SELECT f3, f4 FROM Ta WHERE f10 > 7500")
+        assert isinstance(q, SelectQuery)
+        assert q.table == "Ta"
+        assert q.projected == (3, 4)
+        conj = q.predicate.conjuncts[0]
+        assert conj.field == 10 and conj.op == ">"
+        assert conj.selectivity == pytest.approx(0.25)
+
+    def test_select_star(self):
+        q = parse("SELECT * FROM Tb WHERE f10 > 9900")
+        assert q.projected is None
+        assert q.predicate.conjuncts[0].selectivity == pytest.approx(0.01)
+
+    def test_limit(self):
+        q = parse("SELECT * FROM Ta LIMIT 1024")
+        assert q.limit == 1024 and q.prefers == "row"
+
+    def test_two_conjuncts(self):
+        q = parse("SELECT f3, f4 FROM Ta WHERE f1 > 5000 AND f9 < 5000")
+        assert len(q.predicate.conjuncts) == 2
+        assert q.predicate.conjuncts[1].op == "<"
+        assert q.predicate.conjuncts[1].selectivity == pytest.approx(0.5)
+
+    def test_no_predicate(self):
+        q = parse("SELECT f1 FROM Ta")
+        assert q.predicate is None
+
+    def test_case_insensitive_keywords(self):
+        q = parse("select f1 from Ta where f2 > 5000")
+        assert isinstance(q, SelectQuery)
+
+
+class TestAggregate:
+    def test_sum(self):
+        q = parse("SELECT SUM(f9) FROM Ta WHERE f10 > 7500")
+        assert isinstance(q, AggregateQuery)
+        assert q.func == "SUM" and q.fields == (9,)
+
+    def test_avg_multi(self):
+        q = parse("SELECT AVG(f1), AVG(f2) FROM Ta WHERE f0 < 2500")
+        assert q.func == "AVG" and q.fields == (1, 2)
+
+    def test_mixed_functions_rejected(self):
+        with pytest.raises(SQLError):
+            parse("SELECT AVG(f1), SUM(f2) FROM Ta")
+
+
+class TestUpdateInsert:
+    def test_update(self):
+        q = parse("UPDATE Tb SET f3 = 7, f4 = 11 WHERE f10 = 100")
+        assert isinstance(q, UpdateQuery)
+        assert q.assignments == ((3, 7), (4, 11))
+        assert q.predicate.conjuncts[0].op == "=="
+
+    def test_update_requires_where(self):
+        with pytest.raises(SQLError):
+            parse("UPDATE Tb SET f3 = 7")
+
+    def test_bulk_insert_count(self):
+        q = parse("INSERT INTO Ta VALUES 512")
+        assert isinstance(q, InsertQuery)
+        assert q.n_records == 512
+
+    def test_tuple_insert(self):
+        q = parse("INSERT INTO Tb VALUES (1, 2, 3), (4, 5, 6)")
+        assert q.n_records == 2
+
+
+class TestJoin:
+    def test_q8(self):
+        q = parse(
+            "SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f9 = Tb.f9"
+        )
+        assert isinstance(q, JoinQuery)
+        assert q.key_field == 9
+        assert q.build_table == "Tb" and q.probe_table == "Ta"
+        assert q.project_probe == 3 and q.project_build == 4
+
+    def test_q7_with_extra_compare(self):
+        q = parse(
+            "SELECT Ta.f3, Tb.f4 FROM Ta, Tb "
+            "WHERE Ta.f1 > Tb.f1 AND Ta.f9 = Tb.f9"
+        )
+        assert q.key_field == 9 and q.extra_compare_field == 1
+
+    def test_join_needs_key(self):
+        with pytest.raises(SQLError):
+            parse(
+                "SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f1 > Tb.f1"
+            )
+
+
+class TestErrors:
+    def test_garbage(self):
+        with pytest.raises(SQLError):
+            parse("DROP TABLE Ta")
+
+    def test_bad_field_name(self):
+        with pytest.raises(SQLError):
+            parse("SELECT foo FROM Ta")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SQLError):
+            parse("SELECT f1 FROM Ta WHERE f2 > 5 GROUP")
+
+    def test_untokenizable(self):
+        with pytest.raises(SQLError):
+            parse("SELECT f1 FROM Ta WHERE f2 > 'abc'")
+
+
+class TestEndToEnd:
+    def test_parsed_query_runs(self):
+        from repro.harness.workload import make_tables
+        from repro.sim import run_query
+
+        q = parse("SELECT SUM(f9) FROM Ta WHERE f10 > 7500", name="sql-q3")
+        result = run_query("SAM-en", q, make_tables(128, 128))
+        assert result.query == "sql-q3"
+        assert isinstance(result.result, dict)
+
+    def test_parsed_matches_builtin_q3(self):
+        from repro.harness.workload import make_tables
+        from repro.imdb import by_name
+        from repro.sim import run_query
+
+        sql_q = parse("SELECT SUM(f9) FROM Ta WHERE f10 > 7500")
+        builtin = by_name()["Q3"]
+        a = run_query("baseline", sql_q, make_tables(128, 128))
+        b = run_query("baseline", builtin, make_tables(128, 128))
+        assert a.result == b.result
+        assert a.cycles == b.cycles

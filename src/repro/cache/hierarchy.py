@@ -118,6 +118,13 @@ class CacheHierarchy:
             if cache.resident(line_addr):
                 cache.fill(line_addr, sector_mask, dirty=True)
 
+    def occupancy(self) -> dict:
+        """Per-level residency snapshot, keyed by cache name."""
+        out = {cache.name: cache.occupancy() for cache in self.l1}
+        out["L2"] = self.l2.occupancy()
+        out["LLC"] = self.llc.occupancy()
+        return out
+
     def flush_dirty(self) -> List[Eviction]:
         """Flush every level; dirty LLC lines become writebacks."""
         for cache in self.l1:

@@ -159,6 +159,21 @@ class SectorCache:
     def resident(self, line_addr: int) -> bool:
         return line_addr in self._set_for(line_addr)
 
+    def occupancy(self) -> Dict[str, int]:
+        """Resident/dirty line counts (observability snapshots)."""
+        lines = 0
+        dirty = 0
+        for cache_set in self._sets:
+            lines += len(cache_set)
+            for state in cache_set.values():
+                if state.dirty_mask:
+                    dirty += 1
+        return {
+            "lines": lines,
+            "dirty_lines": dirty,
+            "capacity_lines": self.num_sets * self.ways,
+        }
+
     def flush(self) -> List[Eviction]:
         """Empty the cache, returning all dirty victims."""
         out = []

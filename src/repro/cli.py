@@ -8,11 +8,18 @@ Commands mirror the paper's artefacts:
 * ``reliability`` -- the fault-injection matrix;
 * ``query``       -- run one SQL statement on a chosen design;
 * ``schemes``     -- list the available designs.
+
+Every figure/table command also speaks JSON (``--json``) and can drop
+its payload into an artifacts directory (``--artifacts DIR``); ``query``
+additionally offers ``--stats`` (metrics registry dump), ``--profile``
+(phase-span flamegraph) and ``--trace`` (command-level trace summary,
+exported as JSONL when combined with ``--artifacts``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -24,6 +31,30 @@ def _add_size_args(parser: argparse.ArgumentParser) -> None:
                         help="records in the narrow table Tb")
 
 
+def _add_output_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="emit the result as JSON instead of text")
+    parser.add_argument("--artifacts", metavar="DIR", default=None,
+                        help="also write the result into DIR as JSON")
+
+
+def _emit(args, name: str, payload, text_fn) -> int:
+    """Common output path: text by default, JSON and/or artifacts on
+    request.  ``text_fn`` is lazy so --json skips ASCII rendering."""
+    from .obs.artifacts import ArtifactWriter, to_jsonable
+
+    if getattr(args, "artifacts", None):
+        path = ArtifactWriter(args.artifacts).write_json(
+            f"{name}.json", payload
+        )
+        print(f"wrote {path}", file=sys.stderr)
+    if getattr(args, "json", False):
+        print(json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
+    else:
+        print(text_fn())
+    return 0
+
+
 def _cmd_figure12(args) -> int:
     from .harness.figure12 import run_figure12
 
@@ -32,38 +63,35 @@ def _cmd_figure12(args) -> int:
         designs=args.designs or None,
         queries=args.queries or None,
     )
-    print(result.render())
-    return 0
+    return _emit(args, "figure12", result.payload(), result.render)
 
 
 def _cmd_figure13(args) -> int:
     from .harness.figure13 import run_figure13
 
     designs = args.designs or ["baseline", "SAM-sub", "SAM-IO", "SAM-en"]
-    print(run_figure13(n_ta=args.ta, n_tb=args.tb,
-                       designs=designs).render())
-    return 0
+    result = run_figure13(n_ta=args.ta, n_tb=args.tb, designs=designs)
+    return _emit(args, "figure13", result.payload(), result.render)
 
 
 def _cmd_figure14a(args) -> int:
     from .harness.figure14 import run_figure14a
 
-    print(run_figure14a(n_ta=args.ta, n_tb=args.tb).render())
-    return 0
+    result = run_figure14a(n_ta=args.ta, n_tb=args.tb)
+    return _emit(args, "figure14a", result.payload(), result.render)
 
 
 def _cmd_figure14b(args) -> int:
     from .harness.figure14 import run_figure14b
 
-    print(run_figure14b(n_ta=args.ta, n_tb=args.tb).render())
-    return 0
+    result = run_figure14b(n_ta=args.ta, n_tb=args.tb)
+    return _emit(args, "figure14b", result.payload(), result.render)
 
 
 def _cmd_figure14c(args) -> int:
-    from .harness.figure14 import render_figure14c
+    from .harness.figure14 import figure14c_payload, render_figure14c
 
-    print(render_figure14c())
-    return 0
+    return _emit(args, "figure14c", figure14c_payload(), render_figure14c)
 
 
 def _cmd_figure15(args) -> int:
@@ -76,21 +104,31 @@ def _cmd_figure15(args) -> int:
             print(f"unknown panel {key!r} (have {sorted(panels)})",
                   file=sys.stderr)
             return 2
-        print(panels[key].render())
-        print()
-    return 0
+    payload = {
+        "kind": "figure15",
+        "panels": {key: panels[key].payload() for key in selected},
+    }
+
+    def text() -> str:
+        return "\n\n".join(panels[key].render() for key in selected)
+
+    return _emit(args, "figure15", payload, text)
 
 
 def _cmd_table1(args) -> int:
-    from .core.compare import render_table
+    from .core.compare import comparison_matrix, render_table
 
-    print(render_table())
-    return 0
+    payload = {"kind": "table1", "matrix": comparison_matrix()}
+    return _emit(args, "table1", payload, render_table)
 
 
 def _cmd_reliability(args) -> int:
-    from .harness.reliability import render_reliability
+    from .harness.reliability import reliability_payload, render_reliability
 
+    if args.json or args.artifacts:
+        return _emit(args, "reliability",
+                     reliability_payload(trials=args.trials),
+                     lambda: render_reliability(trials=args.trials))
     print(render_reliability(trials=args.trials))
     return 0
 
@@ -98,22 +136,41 @@ def _cmd_reliability(args) -> int:
 def _cmd_query(args) -> int:
     from .harness.workload import make_tables
     from .imdb.sql import parse
+    from .obs import Observation
     from .sim.runner import run_query
 
     query = parse(args.sql, name="cli")
     tables = make_tables(args.ta, args.tb)
+    observe = Observation(trace=args.trace, artifacts_dir=args.artifacts)
     result = run_query(args.scheme, query, tables,
-                       gather_factor=args.gather)
-    print(f"scheme   : {result.scheme}")
-    print(f"result   : {result.result}")
-    print(f"cycles   : {result.cycles}  ({result.ns / 1000:.1f} us)")
-    print(f"power    : {result.power.total_mw:.0f} mW")
-    stats = result.memory_stats
-    print(
-        f"commands : {stats.reads} RD ({stats.gather_reads} gathers), "
-        f"{stats.writes} WR, {stats.acts + stats.col_acts} ACT, "
-        f"{stats.mode_switches} mode switches"
-    )
+                       gather_factor=args.gather, observe=observe)
+    if args.json:
+        from .obs.artifacts import to_jsonable
+
+        print(json.dumps(to_jsonable(result.manifest()), indent=2,
+                         sort_keys=True))
+    else:
+        print(f"scheme   : {result.scheme}")
+        print(f"result   : {result.result}")
+        print(f"cycles   : {result.cycles}  ({result.ns / 1000:.1f} us)")
+        print(f"power    : {result.power.total_mw:.0f} mW")
+        stats = result.memory_stats
+        print(
+            f"commands : {stats.reads} RD ({stats.gather_reads} gathers), "
+            f"{stats.writes} WR, {stats.acts + stats.col_acts} ACT, "
+            f"{stats.mode_switches} mode switches"
+        )
+    if args.stats:
+        print()
+        print(observe.registry.render())
+    if args.profile:
+        print()
+        print(observe.profiler.render())
+    if args.trace and not args.json:
+        print()
+        print(observe.tracer.report(result.cycles))
+    if observe.manifest_path is not None:
+        print(f"wrote {observe.manifest_path}", file=sys.stderr)
     if args.baseline and args.scheme != "baseline":
         tables = make_tables(args.ta, args.tb)
         base = run_query("baseline", query, tables)
@@ -124,16 +181,30 @@ def _cmd_query(args) -> int:
 def _cmd_schemes(args) -> int:
     from .core.registry import available_schemes, make_scheme
 
+    rows = []
     for name in available_schemes():
         scheme = make_scheme(name)
+        rows.append({
+            "name": name,
+            "timing": scheme.timing.name,
+            "supports_stride": scheme.supports_stride,
+            "gather_factor": (
+                scheme.gather_factor if scheme.supports_stride else None
+            ),
+            "area_silicon_fraction": scheme.area.silicon_fraction,
+        })
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
         stride = (
-            f"gather x{scheme.gather_factor}"
-            if scheme.supports_stride
+            f"gather x{row['gather_factor']}"
+            if row["supports_stride"]
             else "no stride hw"
         )
         print(
-            f"{name:14s} {scheme.timing.name:22s} {stride:14s} "
-            f"area +{scheme.area.silicon_fraction:.2%}"
+            f"{row['name']:14s} {row['timing']:22s} {stride:14s} "
+            f"area +{row['area_silicon_fraction']:.2%}"
         )
     return 0
 
@@ -150,35 +221,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_size_args(p)
     p.add_argument("--designs", nargs="*", default=None)
     p.add_argument("--queries", nargs="*", default=None)
+    _add_output_args(p)
     p.set_defaults(func=_cmd_figure12)
 
     p = sub.add_parser("figure13", help="power and energy efficiency")
     _add_size_args(p)
     p.add_argument("--designs", nargs="*", default=None)
+    _add_output_args(p)
     p.set_defaults(func=_cmd_figure13)
 
     p = sub.add_parser("figure14a", help="substrate swap")
     _add_size_args(p)
+    _add_output_args(p)
     p.set_defaults(func=_cmd_figure14a)
 
     p = sub.add_parser("figure14b", help="strided granularity sweep")
     _add_size_args(p)
+    _add_output_args(p)
     p.set_defaults(func=_cmd_figure14b)
 
     p = sub.add_parser("figure14c", help="area/storage overhead")
+    _add_output_args(p)
     p.set_defaults(func=_cmd_figure14c)
 
     p = sub.add_parser("figure15", help="parametric query sweeps")
     _add_size_args(p)
     p.add_argument("--panels", nargs="*", default=None,
                    help="panels a..i (default: all)")
+    _add_output_args(p)
     p.set_defaults(func=_cmd_figure15)
 
     p = sub.add_parser("table1", help="qualitative comparison matrix")
+    _add_output_args(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("reliability", help="fault-injection matrix")
     p.add_argument("--trials", type=int, default=500)
+    _add_output_args(p)
     p.set_defaults(func=_cmd_reliability)
 
     p = sub.add_parser("query", help="run one SQL statement")
@@ -189,10 +268,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="gather factor (2/4/8)")
     p.add_argument("--baseline", action="store_true",
                    help="also run the baseline and print the speedup")
+    p.add_argument("--stats", action="store_true",
+                   help="print the full metrics registry after the run")
+    p.add_argument("--profile", action="store_true",
+                   help="print the phase-span profile after the run")
+    p.add_argument("--trace", action="store_true",
+                   help="attach a command tracer (report + JSONL export "
+                        "with --artifacts)")
     _add_size_args(p)
+    _add_output_args(p)
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("schemes", help="list available designs")
+    p.add_argument("--json", action="store_true",
+                   help="emit the scheme list as JSON")
     p.set_defaults(func=_cmd_schemes)
     return parser
 

@@ -58,6 +58,9 @@ class Core:
         self.gathers = 0
         self.hits = 0
         self.misses = 0
+        # Activity window in memory cycles (span profiling)
+        self.start_cycle = 0
+        self.finish_cycle: int | None = None
 
     # ------------------------------------------------------------------ API
 
@@ -67,11 +70,23 @@ class Core:
         self._pc = 0
         self._done = not self._ops
         self._ready_time = float(self.kernel.now)
+        self.start_cycle = self.kernel.now
         self._schedule_advance(self.kernel.now)
 
     @property
     def finished(self) -> bool:
         return self._done and self._inflight == 0
+
+    def debug_state(self) -> dict:
+        """Progress snapshot for stall diagnostics."""
+        return {
+            "core_id": self.core_id,
+            "pc": self._pc,
+            "ops": len(self._ops),
+            "inflight": self._inflight,
+            "ready_time": self._ready_time,
+            "finished": self.finished,
+        }
 
     # ------------------------------------------------------------ execution
 
@@ -118,6 +133,8 @@ class Core:
             self._schedule_advance(math.ceil(self._ready_time))
             return
         self._done = True
+        if self._inflight == 0:
+            self.finish_cycle = now
         self.system.core_may_be_done(self)
 
     # --------------------------------------------------------- op handlers
@@ -214,6 +231,7 @@ class Core:
         self._inflight -= 1
         self._schedule_advance(self.kernel.now)
         if self.finished:
+            self.finish_cycle = self.kernel.now
             self.system.core_may_be_done(self)
 
     def _make_rfo_callback(self, line: int, mask: int):

@@ -33,6 +33,10 @@ class BankState:
     row_hits: int = 0
     row_misses: int = 0
     row_conflicts: int = 0
+    # Activity window (first/last activate cycle) for span profiling;
+    # -1 means the bank was never used.
+    first_act_cycle: int = -1
+    last_act_cycle: int = -1
 
     def is_open(self, row: Tuple[RowKind, int]) -> bool:
         return self.open_row == row
@@ -54,6 +58,9 @@ class BankState:
         self.open_row = row
         self.last_act = now
         self.activations += 1
+        if self.first_act_cycle < 0:
+            self.first_act_cycle = now
+        self.last_act_cycle = now
         self.next_read = max(self.next_read, now + t.tRCD)
         self.next_write = max(self.next_write, now + t.tRCD)
         self.next_pre = max(self.next_pre, now + t.tRAS)

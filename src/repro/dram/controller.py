@@ -89,8 +89,12 @@ class MemoryController:
         self.channel = ChannelState(timing, self.geometry)
         #: optional command observer: called as (cycle, command, request)
         #: on every issued command (request is None for REF).  Used by
-        #: repro.sim.trace; keep it None for full-speed runs.
+        #: repro.sim.trace and the obs ring buffer; keep it None for
+        #: full-speed runs.
         self.observer = None
+        #: optional obs.metrics.Histogram observing completed-read latency
+        #: in cycles (one observe per RD command when attached)
+        self.latency_hist = None
         self.read_queue: List[Request] = []
         self.write_queue: List[Request] = []
         self.stats = CommandStats()
@@ -345,6 +349,8 @@ class MemoryController:
         if request.is_read:
             self.stats.read_latency_total += complete_at - request.arrival
             self.stats.read_count_for_latency += 1
+            if self.latency_hist is not None:
+                self.latency_hist.observe(complete_at - request.arrival)
         if request.on_complete is not None:
             callback = request.on_complete
             self.kernel.schedule_at(

@@ -37,6 +37,24 @@ class Figure12Result:
     def qs_gmean(self, design: str) -> float:
         return self.gmean(design, self.qs_names)
 
+    def payload(self) -> Dict[str, object]:
+        """Machine-readable form (``--json`` / artifact export)."""
+        return {
+            "kind": "figure12",
+            "designs": list(self.speedups),
+            "q_names": self.q_names,
+            "qs_names": self.qs_names,
+            "speedups": self.speedups,
+            "baseline_cycles": self.baseline_cycles,
+            "gmeans": {
+                d: {
+                    "Q": self.q_gmean(d) if self.q_names else None,
+                    "Qs": self.qs_gmean(d) if self.qs_names else None,
+                }
+                for d in self.speedups
+            },
+        }
+
     def render_chart(self) -> str:
         """Figure-12 shaped ASCII bars: Q/Qs geomeans per design."""
         from .report import bar_chart

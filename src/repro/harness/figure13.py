@@ -36,6 +36,14 @@ class Figure13Result:
     power_mw: Dict[str, Dict[str, Dict[str, float]]]
     efficiency: Dict[str, Dict[str, float]]
 
+    def payload(self) -> Dict[str, object]:
+        """Machine-readable form (``--json`` / artifact export)."""
+        return {
+            "kind": "figure13",
+            "power_mw": self.power_mw,
+            "efficiency": self.efficiency,
+        }
+
     def render(self) -> str:
         lines = []
         for cls, per_design in self.power_mw.items():

@@ -32,6 +32,9 @@ class Figure14aResult:
 
     speedups: Dict[str, Dict[str, float]]  # substrate -> design -> gmean
 
+    def payload(self) -> Dict[str, object]:
+        return {"kind": "figure14a", "speedups": self.speedups}
+
     def render(self) -> str:
         lines = ["design           on-DRAM   on-NVM"]
         designs = sorted(
@@ -76,6 +79,13 @@ class Figure14bResult:
     """Q-query gmean speedup per design per strided granularity."""
 
     speedups: Dict[int, Dict[str, float]]  # granularity bits -> design
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "kind": "figure14b",
+            "speedups": {str(bits): per
+                         for bits, per in self.speedups.items()},
+        }
 
     def render(self) -> str:
         lines = ["granularity   " + "".join(
@@ -126,6 +136,21 @@ def run_figure14b(
 def run_figure14c() -> Dict[str, AreaReport]:
     """Figure 14(c): the static area/storage overhead model."""
     return all_designs()
+
+
+def figure14c_payload() -> Dict[str, object]:
+    """Machine-readable Figure 14(c)."""
+    return {
+        "kind": "figure14c",
+        "designs": {
+            name: {
+                "silicon_fraction": report.silicon_fraction,
+                "storage_fraction": report.storage_fraction,
+                "extra_metal_layers": report.extra_metal_layers,
+            }
+            for name, report in run_figure14c().items()
+        },
+    }
 
 
 def render_figure14c() -> str:

@@ -41,6 +41,15 @@ class SweepResult:
     def series(self, design: str) -> List[float]:
         return [self.points[x][design] for x in self.points]
 
+    def payload(self) -> Dict[str, object]:
+        """Machine-readable form (``--json`` / artifact export)."""
+        return {
+            "kind": "figure15-panel",
+            "panel": self.panel,
+            "xlabel": self.xlabel,
+            "points": {str(x): per for x, per in self.points.items()},
+        }
+
     def render(self) -> str:
         designs = list(next(iter(self.points.values())))
         lines = [f"== {self.panel} ({self.xlabel})"]

@@ -82,6 +82,19 @@ def run_reliability(trials: int = 500) -> Dict[str, ReliabilityRow]:
     return {d: evaluate_design(d, trials) for d in designs}
 
 
+def reliability_payload(trials: int = 500) -> Dict[str, object]:
+    """Machine-readable reliability matrix (``--json`` / artifacts)."""
+    from dataclasses import asdict
+
+    return {
+        "kind": "reliability",
+        "trials": trials,
+        "designs": {
+            name: asdict(row) for name, row in run_reliability(trials).items()
+        },
+    }
+
+
 def render_reliability(trials: int = 500) -> str:
     rows = run_reliability(trials)
     lines = [

@@ -1,0 +1,104 @@
+"""Unified observability layer.
+
+One :class:`Observation` bundles everything a run can record:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms) -- cheap enough to stay on by default and the
+  single source the power model and harnesses read from,
+* a :class:`~repro.obs.spans.SpanProfiler` tagging the run's phases,
+* an always-on ring buffer of the last issued DRAM commands (stall
+  forensics), optionally upgraded to a full
+  :class:`~repro.sim.trace.CommandTracer`,
+* an optional artifacts directory where the run manifest (and trace)
+  are written as JSON / JSONL.
+
+``run_query(..., observe=Observation(...))`` threads the bundle through
+the stack; calling ``run_query`` with no observation still gets default
+metrics, spans and the stall ring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .artifacts import (
+    MANIFEST_SCHEMA_VERSION,
+    ArtifactWriter,
+    build_run_manifest,
+    git_describe,
+    to_jsonable,
+)
+from .diagnostics import (
+    RECENT_EVENTS,
+    SimulationStallError,
+    StallReport,
+    build_stall_report,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Span, SpanProfiler
+
+__all__ = [
+    "ArtifactWriter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "Observation",
+    "RECENT_EVENTS",
+    "SimulationStallError",
+    "Span",
+    "SpanProfiler",
+    "StallReport",
+    "build_run_manifest",
+    "build_stall_report",
+    "git_describe",
+    "to_jsonable",
+]
+
+
+class Observation:
+    """Instrumentation bundle for one ``run_query`` invocation."""
+
+    def __init__(
+        self,
+        trace: bool = False,
+        keep_trace_events: bool = True,
+        artifacts_dir: "Optional[str | Path]" = None,
+        ring_size: int = RECENT_EVENTS,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.profiler = SpanProfiler()
+        #: request a full CommandTracer (the runner attaches it)
+        self.trace = trace
+        self.keep_trace_events = keep_trace_events
+        self.tracer = None  # set by the runner when trace=True
+        self.artifacts_dir = artifacts_dir
+        #: last-N issued commands, always on, for stall forensics
+        self.ring: "deque[Tuple[int, str, int, int, int]]" = deque(
+            maxlen=ring_size
+        )
+        #: manifest path once artifacts were written
+        self.manifest_path: Optional[Path] = None
+
+    # The hot-path command observer: one tuple append per issued DRAM
+    # command (commands are orders of magnitude rarer than kernel events).
+    def observe_command(self, cycle, command, request) -> None:
+        if request is not None:
+            self.ring.append((
+                cycle, command.value, request.addr.rank,
+                request.addr.bank, request.addr.row,
+            ))
+        else:
+            self.ring.append((cycle, command.value, -1, -1, -1))
+
+    def recent_events(self, n: int = RECENT_EVENTS) -> List[Tuple]:
+        """Last-``n`` commands, preferring the full tracer when attached."""
+        if self.tracer is not None and self.tracer.events:
+            return [
+                (e.cycle, e.command, e.rank, e.bank, e.row)
+                for e in self.tracer.events[-n:]
+            ]
+        return list(self.ring)[-n:]

@@ -2,6 +2,7 @@
 
 from .config import DEFAULT_CONFIG, SystemConfig
 from ..kernel import Kernel, SimulationError
+from ..obs import Observation, SimulationStallError, StallReport
 from .results import RunResult
 from .runner import allocate_placements, run_ideal, run_query
 from .system import MemorySystem, SystemStats
@@ -11,7 +12,10 @@ __all__ = [
     "DEFAULT_CONFIG",
     "SystemConfig",
     "Kernel",
+    "Observation",
     "SimulationError",
+    "SimulationStallError",
+    "StallReport",
     "RunResult",
     "allocate_placements",
     "run_ideal",

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..dram.controller import CommandStats
 from ..power.model import PowerBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.spans import Span
+    from .config import SystemConfig
 
 
 @dataclass
@@ -23,6 +27,19 @@ class RunResult:
     selected_records: int = 0
     core_stats: Dict[str, int] = field(default_factory=dict)
     bus_utilization: float = 0.0
+    #: registry snapshot (flat name -> value/histogram dict); the
+    #: machine-readable face of every number above
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: root of the phase-span tree recorded during the run
+    spans: "Optional[Span]" = None
+    #: the SystemConfig the run used (for the run manifest)
+    config: "Optional[SystemConfig]" = None
+
+    def manifest(self, extra: Optional[Dict] = None) -> Dict[str, object]:
+        """The JSON run-manifest payload for this result."""
+        from ..obs.artifacts import build_run_manifest
+
+        return build_run_manifest(self, extra=extra)
 
     @property
     def seconds(self) -> float:

@@ -4,15 +4,28 @@ This is the reproduction's equivalent of the paper's gem5+NVMain stack:
 it allocates the tables through the scheme's placement, lowers the query
 with the executor, runs the cores against the cycle-level memory system,
 flushes dirty state, and reports time, command counts and energy.
+
+Every run is observed: a :class:`repro.obs.Observation` (created on
+demand when the caller does not pass one) records phase spans, publishes
+all statistics into a metrics registry -- the single source the power
+model and harnesses read from -- keeps a ring of recently issued DRAM
+commands for stall forensics, and can write a JSON run manifest plus a
+JSONL command trace into an artifacts directory.  A wedged simulation
+raises :class:`repro.obs.SimulationStallError` carrying per-bank state,
+queue occupancies and the last commands instead of a bare string.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import warnings
+from typing import Dict, List, Optional
 
 from ..core.registry import make_scheme
 from ..core.scheme import AccessScheme, Placement, TablePlacement
 from ..cpu.core import Core
+from ..kernel import SimulationError
+from ..obs import Observation, SimulationStallError, build_stall_report
+from ..obs.artifacts import ArtifactWriter
 from ..power.model import PowerModel
 
 # typing-only imports of the imdb layer (it imports sim.config, so pulling
@@ -35,6 +48,12 @@ _REGION_STRIDE = 1 << 33
 
 #: Safety valve for runaway simulations.
 _MAX_EVENTS = 200_000_000
+
+#: Read-latency histogram buckets (memory-controller cycles).
+_LATENCY_BUCKETS = (24, 32, 48, 64, 96, 128, 192, 256, 512, 1024)
+
+#: Fraction of the event budget beyond which a run counts as near-runaway.
+_EVENT_WARN_FRACTION = 0.5
 
 
 def allocate_placements(
@@ -63,6 +82,140 @@ def allocate_placements(
     return placements
 
 
+def _attach_observers(system: MemorySystem, obs: Observation) -> None:
+    """Wire the observation into the controller's hot path."""
+    controller = system.controller
+    controller.observer = obs.observe_command
+    controller.latency_hist = obs.registry.histogram(
+        "dram.read_latency_cycles", _LATENCY_BUCKETS
+    )
+    if obs.trace:
+        from .trace import CommandTracer
+
+        # chains obs.observe_command, so the stall ring stays fed
+        obs.tracer = CommandTracer(
+            controller, keep_events=obs.keep_trace_events
+        )
+
+
+def _stall(
+    reason: str,
+    kernel: Kernel,
+    system: MemorySystem,
+    cores: List[Core],
+    scheme: AccessScheme,
+    query: "Query",
+    obs: Observation,
+) -> SimulationStallError:
+    return SimulationStallError(build_stall_report(
+        reason,
+        kernel,
+        system,
+        cores=cores,
+        scheme=scheme.name,
+        query=query.name,
+        recent_events=obs.recent_events(),
+    ))
+
+
+def _add_activity_spans(
+    obs: Observation,
+    execute_span,
+    cores: List[Core],
+    system: MemorySystem,
+) -> None:
+    """Reconstruct per-core and per-bank activity windows as spans."""
+    profiler = obs.profiler
+    for core in cores:
+        profiler.add(
+            execute_span,
+            f"core{core.core_id}",
+            core.start_cycle,
+            core.finish_cycle
+            if core.finish_cycle is not None else core.start_cycle,
+            loads=core.loads,
+            stores=core.stores,
+            gathers=core.gathers,
+            misses=core.misses,
+        )
+    for rank_id, rank in enumerate(system.controller.channel.ranks):
+        for bank_id, bank in enumerate(rank.banks):
+            if bank.first_act_cycle < 0:
+                continue
+            profiler.add(
+                execute_span,
+                f"rank{rank_id}/bank{bank_id}",
+                bank.first_act_cycle,
+                bank.last_act_cycle,
+                activations=bank.activations,
+                row_hits=bank.row_hits,
+                row_conflicts=bank.row_conflicts,
+            )
+
+
+def _publish_metrics(
+    obs: Observation,
+    system: MemorySystem,
+    cores: List[Core],
+    cycles: int,
+    events: int,
+    max_events: int,
+    scheme: AccessScheme,
+) -> None:
+    """Publish every collected statistic into the metrics registry."""
+    reg = obs.registry
+    reg.publish_struct("dram", system.controller.stats)
+    reg.gauge("dram.avg_read_latency").set(
+        system.controller.stats.avg_read_latency
+    )
+    reg.publish_struct("sys", system.stats)
+    for name in ("loads", "stores", "gathers", "hits", "misses"):
+        reg.counter(f"core.{name}").inc(
+            sum(getattr(c, name) for c in cores)
+        )
+    for level, occ in system.hierarchy.occupancy().items():
+        for key, value in occ.items():
+            reg.gauge(f"cache.{level}.{key}").set(value)
+    reg.gauge("sim.cycles").set(cycles)
+    reg.gauge("sim.ns").set(scheme.timing.ns(cycles))
+    # Event count against the safety valve: near-runaway runs become
+    # visible long before they trip _MAX_EVENTS.
+    reg.gauge("sim.events").set(events)
+    reg.gauge("sim.max_events").set(max_events)
+    frac = events / max_events if max_events else 0.0
+    reg.gauge("sim.event_budget_used").set(frac)
+    if frac > _EVENT_WARN_FRACTION:
+        reg.counter("sim.events_near_limit").inc()
+        warnings.warn(
+            f"simulation used {frac:.0%} of its event budget "
+            f"({events}/{max_events}); raise max_events or shrink the "
+            f"workload ({scheme.name})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def _bus_utilization(obs: Observation, busy: int, cycles: int,
+                     scheme: AccessScheme, query: "Query") -> float:
+    """Busy fraction of the data bus, *without* clamping: a value above
+    1.0 is a bookkeeping bug, so it is surfaced as a warning metric
+    rather than silently hidden by ``min(1.0, ...)``."""
+    if not cycles:
+        return 0.0
+    utilization = busy / cycles
+    if utilization > 1.0:
+        obs.registry.counter("sim.bus_utilization_overflow").inc()
+        obs.registry.gauge("sim.bus_utilization_raw").set(utilization)
+        warnings.warn(
+            f"data-bus utilization {utilization:.3f} > 1.0 "
+            f"({scheme.name}/{query.name}): busy-cycle bookkeeping bug",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    obs.registry.gauge("sim.bus_utilization").set(utilization)
+    return utilization
+
+
 def run_query(
     scheme: "AccessScheme | str",
     query: "Query",
@@ -70,47 +223,90 @@ def run_query(
     config: Optional[SystemConfig] = None,
     cost: "Optional[CostModel]" = None,
     gather_factor: Optional[int] = None,
+    observe: Optional[Observation] = None,
+    artifacts: Optional[str] = None,
+    max_events: Optional[int] = None,
 ) -> RunResult:
-    """Simulate one query on one design and return the measurements."""
+    """Simulate one query on one design and return the measurements.
+
+    ``observe`` threads a caller-owned :class:`repro.obs.Observation`
+    through the run (enable tracing, choose an artifacts directory);
+    without one, default-on metrics, spans and the stall ring are still
+    recorded.  ``artifacts`` is a shortcut for an artifacts directory.
+    ``max_events`` overrides the runaway-simulation safety valve.
+    """
     from ..imdb.executor import QueryExecutor
 
     if isinstance(scheme, str):
         scheme = make_scheme(scheme, gather_factor=gather_factor)
     config = config or SystemConfig()
+    obs = observe if observe is not None else Observation()
+    if artifacts is not None and obs.artifacts_dir is None:
+        obs.artifacts_dir = artifacts
+    limit = max_events if max_events is not None else _MAX_EVENTS
+    profiler = obs.profiler
 
     kernel = Kernel()
-    system = MemorySystem(kernel, scheme, config)
-    placements = allocate_placements(scheme, tables)
-    executor = QueryExecutor(scheme, config, tables, placements, cost)
-    output = executor.build(query)
-
-    cores = [
-        Core(kernel, core_id, system, config.core)
-        for core_id in range(config.cores)
-    ]
-    for core, ops in zip(cores, output.ops_per_core):
-        core.run(ops)
-
-    kernel.run(max_events=_MAX_EVENTS)
-    unfinished = [c.core_id for c in cores if not c.finished]
-    if unfinished:
-        raise RuntimeError(
-            f"cores {unfinished} stalled at t={kernel.now} "
-            f"({scheme.name}/{query.name})"
-        )
-    # Account the writeback tail: flush dirty lines and drain the queues.
-    system.flush_caches()
-    kernel.run(max_events=_MAX_EVENTS)
-    if not system.fully_drained:
-        raise RuntimeError(
-            f"memory system failed to drain ({scheme.name}/{query.name})"
-        )
+    profiler.clock = lambda: kernel.now
+    events = 0
+    with profiler.span("run_query", scheme=scheme.name, query=query.name):
+        with profiler.span("allocate"):
+            system = MemorySystem(kernel, scheme, config)
+            placements = allocate_placements(scheme, tables)
+        with profiler.span("build"):
+            executor = QueryExecutor(scheme, config, tables, placements,
+                                     cost)
+            output = executor.build(query)
+            cores = [
+                Core(kernel, core_id, system, config.core)
+                for core_id in range(config.cores)
+            ]
+            for core, ops in zip(cores, output.ops_per_core):
+                core.run(ops)
+        _attach_observers(system, obs)
+        with profiler.span("execute") as execute_span:
+            try:
+                events += kernel.run(max_events=limit)
+            except SimulationStallError:
+                raise
+            except SimulationError as exc:
+                raise _stall(f"event budget exhausted: {exc}", kernel,
+                             system, cores, scheme, query, obs) from exc
+            unfinished = [c.core_id for c in cores if not c.finished]
+            if unfinished:
+                raise _stall(
+                    f"cores {unfinished} stalled (no events left to make "
+                    f"progress)", kernel, system, cores, scheme, query, obs
+                )
+        # Account the writeback tail: flush dirty lines, drain the queues.
+        with profiler.span("flush_drain"):
+            system.flush_caches()
+            try:
+                events += kernel.run(max_events=limit)
+            except SimulationStallError:
+                raise
+            except SimulationError as exc:
+                raise _stall(f"event budget exhausted during drain: {exc}",
+                             kernel, system, cores, scheme, query,
+                             obs) from exc
+            if not system.fully_drained:
+                raise _stall("memory system failed to drain", kernel,
+                             system, cores, scheme, query, obs)
+        _add_activity_spans(obs, execute_span, cores, system)
 
     cycles = kernel.now
+    _publish_metrics(obs, system, cores, cycles, events, limit, scheme)
+    # Energy is priced off the registry: the published dram.* counters
+    # are the single source of truth, not the raw struct.
     power_model = PowerModel(
         scheme.power_config, scheme.timing, scheme.geometry
     )
-    power = power_model.evaluate(system.controller.stats, cycles)
+    power = power_model.evaluate_registry(obs.registry, cycles)
+    obs.registry.gauge("power.background_nj").set(power.background_nj)
+    obs.registry.gauge("power.act_nj").set(power.act_nj)
+    obs.registry.gauge("power.rdwr_nj").set(power.rdwr_nj)
+    obs.registry.gauge("power.total_nj").set(power.total_nj)
+    obs.registry.gauge("power.total_mw").set(power.total_mw)
     core_stats = {
         "loads": sum(c.loads for c in cores),
         "stores": sum(c.stores for c in cores),
@@ -119,7 +315,7 @@ def run_query(
         "misses": sum(c.misses for c in cores),
     }
     busy = system.controller.channel.data_busy_cycles
-    return RunResult(
+    result = RunResult(
         scheme=scheme.name,
         query=query.name,
         cycles=cycles,
@@ -129,8 +325,15 @@ def run_query(
         result=output.result,
         selected_records=output.selected_records,
         core_stats=core_stats,
-        bus_utilization=min(1.0, busy / cycles) if cycles else 0.0,
+        bus_utilization=_bus_utilization(obs, busy, cycles, scheme, query),
+        metrics=obs.registry.as_dict(),
+        spans=profiler.root,
+        config=config,
     )
+    if obs.artifacts_dir is not None:
+        writer = ArtifactWriter(obs.artifacts_dir)
+        obs.manifest_path = writer.write_run(result, tracer=obs.tracer)
+    return result
 
 
 def run_ideal(

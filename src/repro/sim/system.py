@@ -296,6 +296,17 @@ class MemorySystem:
             and self.controller.idle()
         )
 
+    def debug_state(self) -> dict:
+        """Occupancy snapshot for stall diagnostics and metrics."""
+        return {
+            "mshr_lines": len(self._mshr),
+            "pending_writebacks": len(self._pending_writebacks),
+            "outstanding_writes": self.outstanding_writes,
+            "read_queue": len(self.controller.read_queue),
+            "write_queue": len(self.controller.write_queue),
+            "fully_drained": self.fully_drained,
+        }
+
     # ------------------------------------------------------------ plumbing
 
     def _can_accept_all(self, requests) -> bool:

@@ -7,13 +7,19 @@ the analyses a memory-system study needs when a number looks off:
 * data-bus utilization over time (who is bus-bound),
 * per-bank command histograms (who is bank-conflict-bound),
 * command-interval statistics (where the bubbles are),
-* an exportable event list for offline inspection.
+* an exportable event list for offline inspection, including JSONL
+  export into an artifacts directory (one event object per line).
+
+Attaching chains any previously installed observer (e.g. the obs layer's
+stall ring), so tracing composes with default-on observability.
 """
 
 from __future__ import annotations
 
+import json
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..dram.commands import Command, Request
@@ -48,15 +54,19 @@ class CommandTracer:
         self.bank_commands: Counter = Counter()
         self._last_cas_cycle: Optional[int] = None
         self.cas_gaps: Counter = Counter()
+        self._chained = controller.observer
         controller.observer = self._observe
 
     def detach(self) -> None:
-        self.controller.observer = None
+        self.controller.observer = self._chained
+        self._chained = None
 
     # ------------------------------------------------------------ recording
 
     def _observe(self, cycle: int, command: Command,
                  request: Optional[Request]) -> None:
+        if self._chained is not None:
+            self._chained(cycle, command, request)
         name = command.value
         self.command_counts[name] += 1
         if request is not None:
@@ -89,6 +99,22 @@ class CommandTracer:
 
     def hottest_banks(self, top: int = 4) -> List[Tuple[Tuple[int, int], int]]:
         return self.bank_commands.most_common(top)
+
+    def recent(self, n: int = 64) -> List[TraceEvent]:
+        """The last ``n`` recorded events."""
+        return self.events[-n:]
+
+    # --------------------------------------------------------------- export
+
+    def export_jsonl(self, path: "str | Path") -> Path:
+        """Write the recorded events as JSON Lines (one event per line),
+        the format run artifacts and regression tooling diff."""
+        path = Path(path)
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(asdict(event), sort_keys=True))
+                fh.write("\n")
+        return path
 
     def cas_gap_histogram(self) -> Dict[int, int]:
         """Distribution of cycles between consecutive column commands;

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -66,3 +68,81 @@ class TestCommands:
     def test_figure15_unknown_panel(self, capsys):
         code = main(["figure15", "--ta", "64", "--panels", "z"])
         assert code == 2
+
+
+class TestJsonOutput:
+    def test_schemes_json(self, capsys):
+        assert main(["schemes", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["name"] == "SAM-en" for row in rows)
+
+    def test_figure14c_json(self, capsys):
+        assert main(["figure14c", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "figure14c"
+        assert "SAM-en" in payload["designs"]
+
+    def test_table1_json(self, capsys):
+        assert main(["table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "table1"
+
+    def test_figure12_json(self, capsys):
+        code = main(
+            [
+                "figure12", "--ta", "64", "--tb", "64",
+                "--designs", "SAM-en", "--queries", "Q3", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "figure12"
+        assert payload["speedups"]["SAM-en"]["Q3"] > 0
+
+    def test_query_json_is_manifest(self, capsys):
+        code = main(
+            [
+                "query", "SELECT SUM(f9) FROM Ta WHERE f10 > 7500",
+                "--ta", "128", "--tb", "128", "--json",
+            ]
+        )
+        assert code == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["kind"] == "run"
+        assert manifest["scheme"] == "SAM-en"
+        assert manifest["metrics"]["dram.reads"] > 0
+        assert manifest["spans"]["name"] == "run_query"
+
+    def test_figure14c_artifacts(self, tmp_path, capsys):
+        code = main(["figure14c", "--artifacts", str(tmp_path)])
+        assert code == 0
+        path = tmp_path / "figure14c.json"
+        assert json.loads(path.read_text())["kind"] == "figure14c"
+        # text output still printed alongside the artifact
+        assert "SAM-sub" in capsys.readouterr().out
+
+    def test_query_artifacts_and_trace(self, tmp_path, capsys):
+        code = main(
+            [
+                "query", "SELECT SUM(f9) FROM Ta WHERE f10 > 7500",
+                "--ta", "128", "--tb", "128",
+                "--artifacts", str(tmp_path), "--trace",
+            ]
+        )
+        assert code == 0
+        manifests = list(tmp_path.glob("run-*.json"))
+        assert manifests, "query manifest not written"
+        traces = list(tmp_path.glob("run-*.trace.jsonl"))
+        assert traces, "trace JSONL not written"
+
+    def test_query_stats_and_profile(self, capsys):
+        code = main(
+            [
+                "query", "SELECT SUM(f9) FROM Ta WHERE f10 > 7500",
+                "--ta", "128", "--tb", "128", "--stats", "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dram.reads" in out  # registry dump
+        assert "flush_drain" in out  # span profile

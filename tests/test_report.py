@@ -32,6 +32,27 @@ class TestBarChart:
         text = bar_chart({"a": 0.0})
         assert "#" not in text
 
+    def test_all_zero_with_reference(self):
+        text = bar_chart({"a": 0.0, "b": 0.0}, width=10, reference=1.0)
+        assert "#" not in text
+        # reference == peak sits at the right edge; must not crash
+        assert len(text.splitlines()) == 2
+
+    def test_reference_above_peak(self):
+        text = bar_chart({"a": 0.5, "b": 0.8}, width=10, reference=2.0)
+        lines = text.splitlines()
+        # bars scale against the reference, not the tallest bar
+        assert max(line.count("#") for line in lines) <= 5
+
+    def test_reference_below_all_values(self):
+        text = bar_chart({"a": 3.0, "b": 4.0}, width=10, reference=1.0)
+        for line in text.splitlines():
+            assert "|" in line
+
+    def test_single_huge_value(self):
+        text = bar_chart({"a": 1e12}, width=10)
+        assert text.count("#") == 10
+
 
 class TestGroupedBarChart:
     def test_groups_rendered(self):
@@ -41,6 +62,13 @@ class TestGroupedBarChart:
         )
         assert "Q1" in text and "Q2" in text
         assert text.count("SAM") == 2
+
+    def test_empty_groups(self):
+        assert grouped_bar_chart({}) == ""
+
+    def test_group_with_empty_series(self):
+        text = grouped_bar_chart({"Q1": {}})
+        assert "Q1" in text and "(empty)" in text
 
 
 class TestSweepChart:
@@ -62,3 +90,12 @@ class TestSweepChart:
         points = {1: {"a": 1.0}, 2: {}}
         text = sweep_chart(points, ["a"])
         assert "o" in text
+
+    def test_all_zero_values(self):
+        points = {1: {"a": 0.0}, 2: {"a": 0.0}}
+        text = sweep_chart(points, ["a"])
+        assert "o" in text  # plotted on the bottom row, no crash
+
+    def test_single_point(self):
+        text = sweep_chart({1: {"a": 2.0}}, ["a"])
+        assert "o" in text and "peak 2.00" in text

@@ -38,6 +38,45 @@ def _add_output_args(parser: argparse.ArgumentParser) -> None:
                         help="also write the result into DIR as JSON")
 
 
+def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    """Shared flags of every sweep-driven command (the figures and the
+    reliability matrix all execute through :class:`repro.exp.SweepEngine`)."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep points "
+                             "(results are identical at any N)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR, else ~/.cache/repro/sweeps)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="re-simulate every point; neither read nor "
+                             "write the result cache")
+
+
+def _make_engine(args):
+    """A :class:`SweepEngine` from the shared sweep flags."""
+    from .exp import ResultCache, SweepEngine, default_cache_dir
+
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = ResultCache(
+            getattr(args, "cache_dir", None) or default_cache_dir()
+        )
+    return SweepEngine(jobs=getattr(args, "jobs", 1), cache=cache)
+
+
+def _finish_sweep(args, name: str, engine) -> None:
+    """Engine epilogue: one-line summary on stderr, sweep manifest into
+    the artifacts directory when one was requested."""
+    print(engine.summary(), file=sys.stderr)
+    if getattr(args, "artifacts", None):
+        from .obs.artifacts import ArtifactWriter
+
+        path = ArtifactWriter(args.artifacts).write_json(
+            f"{name}.sweep.json", engine.manifest()
+        )
+        print(f"wrote {path}", file=sys.stderr)
+
+
 def _emit(args, name: str, payload, text_fn) -> int:
     """Common output path: text by default, JSON and/or artifacts on
     request.  ``text_fn`` is lazy so --json skips ASCII rendering."""
@@ -58,34 +97,48 @@ def _emit(args, name: str, payload, text_fn) -> int:
 def _cmd_figure12(args) -> int:
     from .harness.figure12 import run_figure12
 
+    engine = _make_engine(args)
     result = run_figure12(
         n_ta=args.ta, n_tb=args.tb,
         designs=args.designs or None,
         queries=args.queries or None,
+        engine=engine,
     )
-    return _emit(args, "figure12", result.payload(), result.render)
+    code = _emit(args, "figure12", result.payload(), result.render)
+    _finish_sweep(args, "figure12", engine)
+    return code
 
 
 def _cmd_figure13(args) -> int:
     from .harness.figure13 import run_figure13
 
+    engine = _make_engine(args)
     designs = args.designs or ["baseline", "SAM-sub", "SAM-IO", "SAM-en"]
-    result = run_figure13(n_ta=args.ta, n_tb=args.tb, designs=designs)
-    return _emit(args, "figure13", result.payload(), result.render)
+    result = run_figure13(n_ta=args.ta, n_tb=args.tb, designs=designs,
+                          engine=engine)
+    code = _emit(args, "figure13", result.payload(), result.render)
+    _finish_sweep(args, "figure13", engine)
+    return code
 
 
 def _cmd_figure14a(args) -> int:
     from .harness.figure14 import run_figure14a
 
-    result = run_figure14a(n_ta=args.ta, n_tb=args.tb)
-    return _emit(args, "figure14a", result.payload(), result.render)
+    engine = _make_engine(args)
+    result = run_figure14a(n_ta=args.ta, n_tb=args.tb, engine=engine)
+    code = _emit(args, "figure14a", result.payload(), result.render)
+    _finish_sweep(args, "figure14a", engine)
+    return code
 
 
 def _cmd_figure14b(args) -> int:
     from .harness.figure14 import run_figure14b
 
-    result = run_figure14b(n_ta=args.ta, n_tb=args.tb)
-    return _emit(args, "figure14b", result.payload(), result.render)
+    engine = _make_engine(args)
+    result = run_figure14b(n_ta=args.ta, n_tb=args.tb, engine=engine)
+    code = _emit(args, "figure14b", result.payload(), result.render)
+    _finish_sweep(args, "figure14b", engine)
+    return code
 
 
 def _cmd_figure14c(args) -> int:
@@ -97,13 +150,15 @@ def _cmd_figure14c(args) -> int:
 def _cmd_figure15(args) -> int:
     from .harness.figure15 import run_figure15
 
-    panels = run_figure15(n_ta=args.ta)
-    selected = args.panels or sorted(panels)
+    known = set("abcdefghi")
+    selected = args.panels or sorted(known)
     for key in selected:
-        if key not in panels:
-            print(f"unknown panel {key!r} (have {sorted(panels)})",
+        if key not in known:
+            print(f"unknown panel {key!r} (have {sorted(known)})",
                   file=sys.stderr)
             return 2
+    engine = _make_engine(args)
+    panels = run_figure15(n_ta=args.ta, engine=engine)
     payload = {
         "kind": "figure15",
         "panels": {key: panels[key].payload() for key in selected},
@@ -112,7 +167,9 @@ def _cmd_figure15(args) -> int:
     def text() -> str:
         return "\n\n".join(panels[key].render() for key in selected)
 
-    return _emit(args, "figure15", payload, text)
+    code = _emit(args, "figure15", payload, text)
+    _finish_sweep(args, "figure15", engine)
+    return code
 
 
 def _cmd_table1(args) -> int:
@@ -123,14 +180,22 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_reliability(args) -> int:
-    from .harness.reliability import reliability_payload, render_reliability
+    from .harness.reliability import (
+        render_rows,
+        rows_payload,
+        run_reliability,
+    )
 
+    engine = _make_engine(args)
+    rows = run_reliability(trials=args.trials, engine=engine)
     if args.json or args.artifacts:
-        return _emit(args, "reliability",
-                     reliability_payload(trials=args.trials),
-                     lambda: render_reliability(trials=args.trials))
-    print(render_reliability(trials=args.trials))
-    return 0
+        code = _emit(args, "reliability", rows_payload(rows, args.trials),
+                     lambda: render_rows(rows))
+    else:
+        print(render_rows(rows))
+        code = 0
+    _finish_sweep(args, "reliability", engine)
+    return code
 
 
 def _cmd_query(args) -> int:
@@ -222,22 +287,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--designs", nargs="*", default=None)
     p.add_argument("--queries", nargs="*", default=None)
     _add_output_args(p)
+    _add_sweep_args(p)
     p.set_defaults(func=_cmd_figure12)
 
     p = sub.add_parser("figure13", help="power and energy efficiency")
     _add_size_args(p)
     p.add_argument("--designs", nargs="*", default=None)
     _add_output_args(p)
+    _add_sweep_args(p)
     p.set_defaults(func=_cmd_figure13)
 
     p = sub.add_parser("figure14a", help="substrate swap")
     _add_size_args(p)
     _add_output_args(p)
+    _add_sweep_args(p)
     p.set_defaults(func=_cmd_figure14a)
 
     p = sub.add_parser("figure14b", help="strided granularity sweep")
     _add_size_args(p)
     _add_output_args(p)
+    _add_sweep_args(p)
     p.set_defaults(func=_cmd_figure14b)
 
     p = sub.add_parser("figure14c", help="area/storage overhead")
@@ -249,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--panels", nargs="*", default=None,
                    help="panels a..i (default: all)")
     _add_output_args(p)
+    _add_sweep_args(p)
     p.set_defaults(func=_cmd_figure15)
 
     p = sub.add_parser("table1", help="qualitative comparison matrix")
@@ -258,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reliability", help="fault-injection matrix")
     p.add_argument("--trials", type=int, default=500)
     _add_output_args(p)
+    _add_sweep_args(p)
     p.set_defaults(func=_cmd_reliability)
 
     p = sub.add_parser("query", help="run one SQL statement")

@@ -17,6 +17,7 @@ RC-NVM-bit/wd, ideal):
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -71,6 +72,10 @@ class AccessScheme(abc.ABC):
     #: only the requested sectors instead of the whole 64B line.
     fetch_fills_whole_line: bool = True
 
+    #: name of a forced base-timing preset; set only on clones produced by
+    #: :meth:`with_timing` (substrate-swap studies), never mutated in place
+    timing_override: Optional[str] = None
+
     def __init__(
         self,
         geometry: Optional[Geometry] = None,
@@ -108,13 +113,27 @@ class AccessScheme(abc.ABC):
         return self.geometry.cacheline_bytes // self.sector_bytes
 
     def base_timing(self) -> TimingParams:
+        """Device timing of the design's native substrate (subclass hook)."""
         return preset("DDR4-2400")
+
+    def with_timing(self, timing_name: str) -> "AccessScheme":
+        """A clone of this scheme whose base timing is forced to the named
+        preset (substrate-swap studies, Figure 14(a)).  The receiver is
+        left untouched, so a shared scheme instance stays immutable across
+        sweep points -- a prerequisite for parallel sweep execution."""
+        preset(timing_name)  # fail fast on unknown presets
+        clone = copy.copy(self)
+        clone.timing_override = timing_name
+        return clone
 
     @property
     def timing(self) -> TimingParams:
         """Device timing, with array latencies scaled by area overhead
         (Section 6.1: latency grows proportionally to the core area)."""
-        base = self.base_timing()
+        if self.timing_override is not None:
+            base = preset(self.timing_override)
+        else:
+            base = self.base_timing()
         overhead = self.area.silicon_fraction
         if overhead < 0.005:
             return base

@@ -26,6 +26,7 @@ from typing import List
 
 from ..area.overhead import AreaReport
 from ..dram.commands import Request, RequestType
+from ..dram.geometry import DEFAULT_GEOMETRY
 from .placements import RowMajorPlacement
 from .scheme import (
     AccessScheme,
@@ -35,8 +36,9 @@ from .scheme import (
     TablePlacement,
 )
 
-#: sub-ranks per rank (4 data chips each)
-SUBRANKS = 4
+#: sub-ranks per rank (4 data chips each; the channel's bus-occupancy
+#: accounting weighs sub-rank transfers by the same fraction)
+SUBRANKS = DEFAULT_GEOMETRY.subranks
 #: bytes one fine-grained access returns
 SUBRANK_CHUNK = 16
 

@@ -29,8 +29,11 @@ class ChannelState:
     #: quarter of the pins, so transfers from different sub-ranks overlap;
     #: a full-width transfer must wait for every sub-bus and vice versa.
     subbus_free: dict = field(default_factory=dict)
-    # Statistics
-    data_busy_cycles: int = 0
+    # Statistics.  Bus occupancy is integrated in *sub-bus* units so that
+    # concurrent sub-rank transfers cannot sum past the physical pin
+    # count: a full-width burst books ``subranks * tBL`` units, a
+    # sub-rank burst ``tBL`` (its pin fraction times the full duration).
+    data_busy_subbus_cycles: int = 0
     commands_issued: int = 0
 
     def __post_init__(self) -> None:
@@ -39,6 +42,12 @@ class ChannelState:
                 RankState(self.timing, self.geometry)
                 for _ in range(self.geometry.ranks)
             ]
+
+    @property
+    def data_busy_cycles(self) -> float:
+        """Full-bus-equivalent busy cycles.  A sub-rank transfer counts at
+        its pin fraction, so the total never exceeds elapsed cycles."""
+        return self.data_busy_subbus_cycles / self.geometry.subranks
 
     def _max_subbus_free(self) -> int:
         return max(self.subbus_free.values(), default=0)
@@ -81,10 +90,11 @@ class ChannelState:
         data_end = data_start + t.tBL
         if subrank is None:
             self.data_free = data_end
-            self.data_busy_cycles += t.tBL
+            self.data_busy_subbus_cycles += t.tBL * self.geometry.subranks
         else:
             self.subbus_free[(rank, subrank)] = data_end
-            self.data_busy_cycles += t.tBL  # quarter-width, full duration
+            # fractional width, full duration: one sub-bus worth of pins
+            self.data_busy_subbus_cycles += t.tBL
         self.last_data_rank = rank
         self.last_data_type = req_type
         return data_end

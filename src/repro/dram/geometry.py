@@ -28,6 +28,14 @@ class Geometry:
     chip_row_bits: int = 4096  # 4 Kb local row buffer per chip
     burst_length: int = 8
     cacheline_bytes: int = 64
+    chips_per_subrank: int = 4  # AGMS/DGMS sub-ranking: 4 data chips each
+
+    @property
+    def subranks(self) -> int:
+        """Sub-ranks per rank for fine-granularity (AGMS/DGMS) designs.
+        Each sub-rank drives ``chips_per_subrank / data_chips`` of the
+        data pins, so a sub-rank burst occupies that fraction of the bus."""
+        return max(1, self.data_chips // self.chips_per_subrank)
 
     @property
     def banks(self) -> int:

@@ -1,0 +1,150 @@
+"""Declarative experiment specifications.
+
+A paper figure is a *grid* of independent simulations.  Instead of each
+harness hand-rolling its own nested loops around ``run_query``, it builds
+an :class:`ExperimentSpec`: a named, ordered tuple of
+:class:`SweepPoint` records, each describing one unit of work purely as
+data -- scheme name, query plan, table recipes, config and overrides.
+Because a point is plain (frozen-dataclass) data, it can be
+
+* pickled to a worker process (parallel execution),
+* hashed to a stable content digest (result caching), and
+* replayed bit-identically in any order (deterministic sweeps).
+
+Tables are described by :class:`TableSpec` *recipes* rather than
+materialized arrays: table data is a pure function of
+``(schema, n_records, seed)``, so workers rebuild them locally and the
+spec stays tiny and hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..imdb.query import Query
+from ..imdb.schema import FIELD_BYTES, Table, TableSchema
+from ..sim.config import SystemConfig
+
+#: sweep-point kinds with a registered executor (see repro.exp.engine)
+POINT_KINDS = ("query", "reliability")
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Recipe for one synthetic table (data is deterministic in these)."""
+
+    name: str
+    n_fields: int
+    n_records: int
+    seed: int
+    field_bytes: int = FIELD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.n_records <= 0 or self.n_fields <= 0:
+            raise ValueError("table spec needs records and fields")
+
+    @property
+    def schema(self) -> TableSchema:
+        return TableSchema(self.name, self.n_fields, self.field_bytes)
+
+    def build(self) -> Table:
+        """Materialize the table (same bytes on every call)."""
+        return Table(self.schema, self.n_records, seed=self.seed)
+
+
+def standard_tables(
+    n_ta: int, n_tb: int, seed: int = 42
+) -> Tuple[TableSpec, TableSpec]:
+    """The benchmark's Ta (128 fields) / Tb (16 fields) pair, matching
+    :func:`repro.harness.workload.make_tables`."""
+    return (
+        TableSpec("Ta", 128, n_ta, seed),
+        TableSpec("Tb", 16, n_tb, seed + 1),
+    )
+
+
+def build_tables(specs: Tuple[TableSpec, ...]) -> Dict[str, Table]:
+    """Materialize every table of a point, keyed by table name."""
+    return {spec.name: spec.build() for spec in specs}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One unit of sweep work, described purely as data.
+
+    ``key`` is the point's identity inside its spec -- a tuple of strings
+    chosen by the spec builder (e.g. ``("SAM-en", "Q3")``) that result
+    shapers use to look results back up.  ``kind`` selects the executor:
+    ``"query"`` runs :func:`repro.sim.runner.run_query`, ``"reliability"``
+    runs a fault-injection campaign.  ``params`` carries kind-specific
+    extras as a sorted tuple of pairs (kept hashable for caching).
+    """
+
+    key: Tuple[str, ...]
+    kind: str = "query"
+    scheme: Optional[str] = None
+    query: Optional[Query] = None
+    tables: Tuple[TableSpec, ...] = ()
+    gather_factor: Optional[int] = None
+    timing: Optional[str] = None  # base-timing preset override by name
+    config: Optional[SystemConfig] = None
+    max_events: Optional[int] = None
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("a sweep point needs a non-empty key")
+        if self.kind not in POINT_KINDS:
+            raise ValueError(
+                f"unknown point kind {self.kind!r}; have {POINT_KINDS}"
+            )
+        if self.kind == "query":
+            if self.scheme is None or self.query is None or not self.tables:
+                raise ValueError(
+                    "a query point needs scheme, query and tables"
+                )
+        elif self.scheme is None:
+            raise ValueError(f"a {self.kind} point needs a scheme/design")
+
+    def param(self, name: str, default: object = None) -> object:
+        return dict(self.params).get(name, default)
+
+    @property
+    def label(self) -> str:
+        return "/".join(self.key)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named grid of sweep points plus its normalization rule.
+
+    ``normalize`` documents how shapers turn raw results into figure
+    numbers (e.g. ``"divide by baseline cycles per query"``); the engine
+    itself never normalizes -- it only guarantees that results come back
+    keyed and ordered exactly like ``points``.
+    """
+
+    name: str
+    points: Tuple[SweepPoint, ...]
+    normalize: Optional[str] = None
+    meta: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        keys = [p.key for p in self.points]
+        if len(set(keys)) != len(keys):
+            seen: set = set()
+            dup = next(k for k in keys if k in seen or seen.add(k))
+            raise ValueError(f"duplicate sweep-point key {dup!r}")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def keys(self) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(p.key for p in self.points)
+
+    def point(self, key: Tuple[str, ...]) -> SweepPoint:
+        for p in self.points:
+            if p.key == key:
+                return p
+        raise KeyError(key)

@@ -4,6 +4,12 @@ Every (scheme, query) pair is simulated end to end; speedups are
 normalized to the commodity row-store baseline, exactly as in the paper.
 The ``ideal`` series is a row store for Qs queries and a column store for
 Q queries.
+
+The harness is a thin layer over :mod:`repro.exp`: it *builds* a
+declarative :class:`~repro.exp.ExperimentSpec` of every (scheme, query)
+point and *shapes* the engine's results into :class:`Figure12Result`;
+execution order, parallelism (``--jobs``) and result caching live in the
+engine.
 """
 
 from __future__ import annotations
@@ -12,9 +18,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.registry import FIGURE12_DESIGNS
+from ..exp import ExperimentSpec, SweepEngine, SweepPoint, standard_tables
 from ..imdb.queries import q_queries, qs_queries
-from ..sim.runner import run_ideal, run_query
-from .workload import geomean, make_tables
+from .workload import geomean
 
 
 @dataclass
@@ -106,6 +112,57 @@ class Figure12Result:
         return "\n".join(lines)
 
 
+def _query_lists(queries: Optional[Sequence[str]]):
+    q_list = [q for q in q_queries() if queries is None or q.name in queries]
+    qs_list = [
+        q for q in qs_queries() if queries is None or q.name in queries
+    ]
+    return q_list, qs_list
+
+
+def build_figure12_spec(
+    n_ta: int = 2048,
+    n_tb: int = 4096,
+    designs: Optional[Sequence[str]] = None,
+    queries: Optional[Sequence[str]] = None,
+    include_ideal: bool = True,
+    gather_factor: int = 8,
+) -> ExperimentSpec:
+    """Figure 12 as data: one point per (series, query)."""
+    q_list, qs_list = _query_lists(queries)
+    all_q = q_list + qs_list
+    designs = list(designs or FIGURE12_DESIGNS)
+    tables = standard_tables(n_ta, n_tb)
+
+    points = [
+        SweepPoint(key=("baseline", q.name), scheme="baseline", query=q,
+                   tables=tables)
+        for q in all_q
+    ]
+    for design in designs:
+        points += [
+            SweepPoint(key=(design, q.name), scheme=design, query=q,
+                       tables=tables, gather_factor=gather_factor)
+            for q in all_q
+        ]
+    if include_ideal:
+        # the paper's "ideal": a plain row store for row-preferring
+        # queries, a plain column store for column-preferring ones
+        points += [
+            SweepPoint(
+                key=("ideal", q.name),
+                scheme="baseline" if q.prefers == "row" else "column-store",
+                query=q,
+                tables=tables,
+            )
+            for q in all_q
+        ]
+    return ExperimentSpec(
+        "figure12", tuple(points),
+        normalize="divide by baseline cycles per query",
+    )
+
+
 def run_figure12(
     n_ta: int = 2048,
     n_tb: int = 4096,
@@ -113,44 +170,33 @@ def run_figure12(
     queries: Optional[Sequence[str]] = None,
     include_ideal: bool = True,
     gather_factor: int = 8,
+    engine: Optional[SweepEngine] = None,
 ) -> Figure12Result:
     """Regenerate Figure 12 (optionally restricted to some designs/queries).
 
     ``gather_factor=8`` is the paper's default: SSC-DSD chipkill with 4-bit
-    strided granularity.
+    strided granularity.  ``engine`` chooses parallelism and caching; the
+    default runs serially without a cache.
     """
-    q_list = [q for q in q_queries() if queries is None or q.name in queries]
-    qs_list = [
-        q for q in qs_queries() if queries is None or q.name in queries
-    ]
+    engine = engine or SweepEngine()
+    q_list, qs_list = _query_lists(queries)
     all_q = q_list + qs_list
-    designs = list(designs or FIGURE12_DESIGNS)
+    design_list = list(designs or FIGURE12_DESIGNS)
+    run = engine.run(build_figure12_spec(
+        n_ta, n_tb, designs, queries, include_ideal, gather_factor
+    ))
 
-    baseline_cycles: Dict[str, int] = {}
-    for query in all_q:
-        tables = make_tables(n_ta, n_tb)
-        baseline_cycles[query.name] = run_query(
-            "baseline", query, tables
-        ).cycles
-
-    speedups: Dict[str, Dict[str, float]] = {}
-    for design in designs:
-        speedups[design] = {}
-        for query in all_q:
-            tables = make_tables(n_ta, n_tb)
-            result = run_query(design, query, tables,
-                               gather_factor=gather_factor)
-            speedups[design][query.name] = (
-                baseline_cycles[query.name] / result.cycles
-            )
-    if include_ideal:
-        speedups["ideal"] = {}
-        for query in all_q:
-            tables = make_tables(n_ta, n_tb)
-            result = run_ideal(query, tables)
-            speedups["ideal"][query.name] = (
-                baseline_cycles[query.name] / result.cycles
-            )
+    baseline_cycles: Dict[str, int] = {
+        q.name: run.cycles(("baseline", q.name)) for q in all_q
+    }
+    series = design_list + (["ideal"] if include_ideal else [])
+    speedups: Dict[str, Dict[str, float]] = {
+        name: {
+            q.name: run.speedup((name, q.name), ("baseline", q.name))
+            for q in all_q
+        }
+        for name in series
+    }
     return Figure12Result(
         speedups,
         baseline_cycles,

@@ -15,9 +15,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from ..core.registry import FIGURE12_DESIGNS
+from ..exp import ExperimentSpec, SweepEngine, SweepPoint, standard_tables
 from ..imdb.queries import by_name
-from ..sim.runner import run_query
-from .workload import make_tables
 
 #: Figure 13's query classes.
 CLASSES = {
@@ -58,14 +57,39 @@ class Figure13Result:
         return "\n".join(lines)
 
 
+def build_figure13_spec(
+    n_ta: int = 1024,
+    n_tb: int = 2048,
+    designs: Optional[Sequence[str]] = None,
+) -> ExperimentSpec:
+    """Figure 13 as data: one point per (design, query); the query
+    classes partition the benchmark, so (design, query) keys are unique."""
+    designs = list(designs or (("baseline",) + tuple(FIGURE12_DESIGNS)))
+    queries = by_name()
+    tables = standard_tables(n_ta, n_tb)
+    points = [
+        SweepPoint(key=(design, qname), scheme=design,
+                   query=queries[qname], tables=tables)
+        for design in designs
+        for names in CLASSES.values()
+        for qname in names
+    ]
+    return ExperimentSpec(
+        "figure13", tuple(points),
+        normalize="baseline class energy / design class energy",
+    )
+
+
 def run_figure13(
     n_ta: int = 1024,
     n_tb: int = 2048,
     designs: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Figure13Result:
     """Regenerate Figure 13."""
+    engine = engine or SweepEngine()
     designs = list(designs or (("baseline",) + tuple(FIGURE12_DESIGNS)))
-    queries = by_name()
+    run = engine.run(build_figure13_spec(n_ta, n_tb, designs))
     power: Dict[str, Dict[str, Dict[str, float]]] = {}
     eff: Dict[str, Dict[str, float]] = {}
     # energy per class per design, for the efficiency ratios
@@ -78,9 +102,7 @@ def run_figure13(
             cls_energy = 0.0
             elapsed = 0.0
             for qname in names:
-                tables = make_tables(n_ta, n_tb)
-                result = run_query(design, queries[qname], tables)
-                p = result.power
+                p = run[(design, qname)].power
                 cls_energy += p.total_nj
                 elapsed += p.elapsed_ns
                 totals["background"] += p.background_nj

@@ -13,17 +13,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from ..area.overhead import AreaReport, all_designs
-from ..core.registry import make_scheme
-from ..dram.timing import preset
+from ..exp import ExperimentSpec, SweepEngine, SweepPoint, standard_tables
 from ..imdb.queries import all_queries, q_queries
-from ..sim.runner import run_query
-from .workload import geomean, make_tables
-
-
-def _swap_timing(scheme, timing_name: str):
-    """Return the scheme with its base timing forced to ``timing_name``."""
-    scheme.base_timing = lambda: preset(timing_name)  # type: ignore
-    return scheme
+from .workload import geomean
 
 
 @dataclass
@@ -47,30 +39,62 @@ class Figure14aResult:
         return "\n".join(lines)
 
 
+#: Figure 14(a) substrates: display label -> timing preset to force.
+SUBSTRATES = (("DRAM", "DDR4-2400"), ("NVM", "RRAM"))
+
+
+def build_figure14a_spec(
+    n_ta: int = 1024,
+    n_tb: int = 2048,
+    designs: Sequence[str] = ("RC-NVM-wd", "SAM-sub", "SAM-IO", "SAM-en"),
+    queries: Optional[Sequence[str]] = None,
+) -> ExperimentSpec:
+    """Figure 14(a) as data: baseline per query + every design on every
+    substrate, timing forced via the scheme's immutable ``with_timing``
+    clone (no shared-instance monkeypatching)."""
+    q_list = [
+        q for q in all_queries() if queries is None or q.name in queries
+    ]
+    tables = standard_tables(n_ta, n_tb)
+    points = [
+        SweepPoint(key=("baseline", q.name), scheme="baseline", query=q,
+                   tables=tables)
+        for q in q_list
+    ]
+    points += [
+        SweepPoint(key=(substrate, design, q.name), scheme=design, query=q,
+                   tables=tables, timing=timing_name)
+        for substrate, timing_name in SUBSTRATES
+        for design in designs
+        for q in q_list
+    ]
+    return ExperimentSpec(
+        "figure14a", tuple(points),
+        normalize="divide by baseline cycles per query, gmean per design",
+    )
+
+
 def run_figure14a(
     n_ta: int = 1024,
     n_tb: int = 2048,
     designs: Sequence[str] = ("RC-NVM-wd", "SAM-sub", "SAM-IO", "SAM-en"),
     queries: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Figure14aResult:
     """Figure 14(a): every design on both memory technologies."""
+    engine = engine or SweepEngine()
     q_list = [
         q for q in all_queries() if queries is None or q.name in queries
     ]
-    base_cycles = {}
-    for query in q_list:
-        tables = make_tables(n_ta, n_tb)
-        base_cycles[query.name] = run_query("baseline", query, tables).cycles
+    run = engine.run(build_figure14a_spec(n_ta, n_tb, designs, queries))
     out: Dict[str, Dict[str, float]] = {"DRAM": {}, "NVM": {}}
-    for substrate, timing_name in (("DRAM", "DDR4-2400"), ("NVM", "RRAM")):
+    for substrate, _ in SUBSTRATES:
         for design in designs:
-            speeds = []
-            for query in q_list:
-                scheme = _swap_timing(make_scheme(design), timing_name)
-                tables = make_tables(n_ta, n_tb)
-                result = run_query(scheme, query, tables)
-                speeds.append(base_cycles[query.name] / result.cycles)
-            out[substrate][design] = geomean(speeds)
+            out[substrate][design] = geomean(
+                run.speedup((substrate, design, q.name),
+                            ("baseline", q.name))
+                for q in q_list
+            )
     return Figure14aResult(out)
 
 
@@ -104,32 +128,58 @@ class Figure14bResult:
 GRANULARITY_TO_GATHER = {16: 2, 8: 4, 4: 8}
 
 
+def build_figure14b_spec(
+    n_ta: int = 1024,
+    n_tb: int = 2048,
+    designs: Sequence[str] = ("RC-NVM-wd", "GS-DRAM-ecc", "SAM-en"),
+    queries: Optional[Sequence[str]] = None,
+) -> ExperimentSpec:
+    """Figure 14(b) as data: baseline per query + every design at every
+    strided granularity."""
+    q_list = [
+        q for q in q_queries() if queries is None or q.name in queries
+    ]
+    tables = standard_tables(n_ta, n_tb)
+    points = [
+        SweepPoint(key=("baseline", q.name), scheme="baseline", query=q,
+                   tables=tables)
+        for q in q_list
+    ]
+    points += [
+        SweepPoint(key=(f"{bits}-bit", design, q.name), scheme=design,
+                   query=q, tables=tables, gather_factor=factor)
+        for bits, factor in GRANULARITY_TO_GATHER.items()
+        for design in designs
+        for q in q_list
+    ]
+    return ExperimentSpec(
+        "figure14b", tuple(points),
+        normalize="divide by baseline cycles per query, gmean per design",
+    )
+
+
 def run_figure14b(
     n_ta: int = 1024,
     n_tb: int = 2048,
     designs: Sequence[str] = ("RC-NVM-wd", "GS-DRAM-ecc", "SAM-en"),
     queries: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Figure14bResult:
     """Figure 14(b): strided granularity sweep over Q queries."""
+    engine = engine or SweepEngine()
     q_list = [
         q for q in q_queries() if queries is None or q.name in queries
     ]
-    base_cycles = {}
-    for query in q_list:
-        tables = make_tables(n_ta, n_tb)
-        base_cycles[query.name] = run_query("baseline", query, tables).cycles
+    run = engine.run(build_figure14b_spec(n_ta, n_tb, designs, queries))
     out: Dict[int, Dict[str, float]] = {}
-    for bits, factor in GRANULARITY_TO_GATHER.items():
+    for bits in GRANULARITY_TO_GATHER:
         out[bits] = {}
         for design in designs:
-            speeds = []
-            for query in q_list:
-                tables = make_tables(n_ta, n_tb)
-                result = run_query(
-                    design, query, tables, gather_factor=factor
-                )
-                speeds.append(base_cycles[query.name] / result.cycles)
-            out[bits][design] = geomean(speeds)
+            out[bits][design] = geomean(
+                run.speedup((f"{bits}-bit", design, q.name),
+                            ("baseline", q.name))
+                for q in q_list
+            )
     return Figure14bResult(out)
 
 

@@ -8,18 +8,27 @@ series being the better of the row store and the column store per point:
 (g)     aggregate query, selectivity sweep at 8 projected fields
 (h)     aggregate query, projectivity sweep at 100% selected
 (i)     record-size sweep at 100% projectivity and selectivity
+
+Each panel is one :class:`~repro.exp.ExperimentSpec` -- the keys are
+``(series, x)`` pairs over the panel's x-axis -- and all nine specs can
+share one :class:`~repro.exp.SweepEngine` (``run_figure15``), so a whole
+figure sweeps in parallel and caches as a unit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..exp import (
+    ExperimentSpec,
+    SweepEngine,
+    SweepPoint,
+    TableSpec,
+    standard_tables,
+)
 from ..imdb.queries import aggregate_query, arithmetic_query
 from ..imdb.query import Predicate, SelectQuery
-from ..imdb.schema import Table, TableSchema
-from ..sim.runner import run_query
-from .workload import make_tables
 
 #: The representative designs of Figure 15.
 FIG15_DESIGNS = ("RC-NVM-wd", "GS-DRAM-ecc", "SAM-en")
@@ -63,24 +72,59 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _run_point(
-    query,
-    n_ta: int,
-    designs: Sequence[str],
-) -> Dict[str, float]:
-    """Speedups of ``designs`` + ideal for one query configuration."""
-    tables = make_tables(n_ta, 64)
-    base = run_query("baseline", query, tables).cycles
-    out: Dict[str, float] = {}
-    for design in designs:
-        tables = make_tables(n_ta, 64)
-        result = run_query(design, query, tables)
-        out[design] = base / result.cycles
-    # ideal: best of row store (baseline) and column store
-    tables = make_tables(n_ta, 64)
-    col = run_query("column-store", query, tables).cycles
-    out["ideal"] = base / min(base, col)
-    return out
+def _axis_points(
+    query, x: str, tables, designs: Sequence[str]
+) -> List[SweepPoint]:
+    """The points of one x-axis value: baseline, every design, and the
+    column store (which, with the baseline, defines "ideal")."""
+    points = [
+        SweepPoint(key=("baseline", x), scheme="baseline", query=query,
+                   tables=tables),
+        SweepPoint(key=("column-store", x), scheme="column-store",
+                   query=query, tables=tables),
+    ]
+    points += [
+        SweepPoint(key=(design, x), scheme=design, query=query,
+                   tables=tables)
+        for design in designs
+    ]
+    return points
+
+
+def _shape_panel(run, panel: SweepResult, xs: Sequence[object],
+                 designs: Sequence[str]) -> SweepResult:
+    """Speedups vs baseline; ideal = best of row store and column store."""
+    for x in xs:
+        base = run.cycles(("baseline", str(x)))
+        per: Dict[str, float] = {
+            design: run.speedup((design, str(x)), ("baseline", str(x)))
+            for design in designs
+        }
+        col = run.cycles(("column-store", str(x)))
+        per["ideal"] = base / min(base, col)
+        panel.points[x] = per
+    return panel
+
+
+def build_selectivity_spec(
+    projected: int,
+    n_ta: int = 1024,
+    designs: Sequence[str] = FIG15_DESIGNS,
+    selectivities: Sequence[float] = SELECTIVITIES,
+    aggregate: bool = False,
+) -> ExperimentSpec:
+    """Panels (a)-(c)/(g) as data: vary selectivity at fixed projectivity."""
+    maker = aggregate_query if aggregate else arithmetic_query
+    kind = "aggregate" if aggregate else "arithmetic"
+    tables = standard_tables(n_ta, 64)
+    points: List[SweepPoint] = []
+    for sel in selectivities:
+        points += _axis_points(maker(projected, sel), str(sel), tables,
+                               designs)
+    return ExperimentSpec(
+        f"figure15-sel-{kind}-p{projected}", tuple(points),
+        normalize="divide by baseline cycles per selectivity",
+    )
 
 
 def run_selectivity_sweep(
@@ -89,17 +133,39 @@ def run_selectivity_sweep(
     designs: Sequence[str] = FIG15_DESIGNS,
     selectivities: Sequence[float] = SELECTIVITIES,
     aggregate: bool = False,
+    engine: Optional[SweepEngine] = None,
 ) -> SweepResult:
     """Panels (a)-(c) and (g): vary selectivity at fixed projectivity."""
-    maker = aggregate_query if aggregate else arithmetic_query
+    engine = engine or SweepEngine()
+    run = engine.run(build_selectivity_spec(
+        projected, n_ta, designs, selectivities, aggregate
+    ))
     kind = "aggregate" if aggregate else "arithmetic"
     panel = SweepResult(
         f"{kind}, {projected} fields projected", "selectivity"
     )
-    for sel in selectivities:
-        query = maker(projected, sel)
-        panel.points[sel] = _run_point(query, n_ta, designs)
-    return panel
+    return _shape_panel(run, panel, selectivities, designs)
+
+
+def build_projectivity_spec(
+    selectivity: float,
+    n_ta: int = 1024,
+    designs: Sequence[str] = FIG15_DESIGNS,
+    projectivities: Sequence[int] = PROJECTIVITIES,
+    aggregate: bool = False,
+) -> ExperimentSpec:
+    """Panels (d)-(f)/(h) as data: vary projectivity at fixed selectivity."""
+    maker = aggregate_query if aggregate else arithmetic_query
+    kind = "aggregate" if aggregate else "arithmetic"
+    tables = standard_tables(n_ta, 64)
+    points: List[SweepPoint] = []
+    for proj in projectivities:
+        points += _axis_points(maker(proj, selectivity), str(proj), tables,
+                               designs)
+    return ExperimentSpec(
+        f"figure15-proj-{kind}-s{selectivity:g}", tuple(points),
+        normalize="divide by baseline cycles per projectivity",
+    )
 
 
 def run_projectivity_sweep(
@@ -108,54 +174,83 @@ def run_projectivity_sweep(
     designs: Sequence[str] = FIG15_DESIGNS,
     projectivities: Sequence[int] = PROJECTIVITIES,
     aggregate: bool = False,
+    engine: Optional[SweepEngine] = None,
 ) -> SweepResult:
     """Panels (d)-(f) and (h): vary projectivity at fixed selectivity."""
-    maker = aggregate_query if aggregate else arithmetic_query
+    engine = engine or SweepEngine()
+    run = engine.run(build_projectivity_spec(
+        selectivity, n_ta, designs, projectivities, aggregate
+    ))
     kind = "aggregate" if aggregate else "arithmetic"
     panel = SweepResult(
         f"{kind}, {selectivity:.0%} records selected", "fields projected"
     )
-    for proj in projectivities:
-        query = maker(proj, selectivity)
-        panel.points[proj] = _run_point(query, n_ta, designs)
-    return panel
+    return _shape_panel(run, panel, projectivities, designs)
 
 
-def run_record_size_sweep(
+def build_record_size_spec(
     n_bytes_total: int = 1 << 20,
     designs: Sequence[str] = FIG15_DESIGNS,
     record_fields: Sequence[int] = RECORD_FIELDS,
-) -> SweepResult:
-    """Panel (i): vary record size at 100% projectivity and selectivity.
+) -> ExperimentSpec:
+    """Panel (i) as data: vary record size at constant table footprint.
 
-    The table footprint is held constant (fewer records as they grow),
-    matching the paper's fixed-table-size sweep.
+    Each x-axis value carries its *own* table recipes (fewer records as
+    they grow); table data is deterministic in (schema, records, seed),
+    so worker processes rebuild identical tables.
     """
-    panel = SweepResult(
-        "arithmetic, all fields projected, 100% selected", "record size (8B)"
-    )
+    points: List[SweepPoint] = []
     for fields in record_fields:
-        schema = TableSchema(f"T{fields}", n_fields=fields)
-        n_records = max(8, n_bytes_total // schema.record_bytes)
+        ta = TableSpec("Ta", fields, 1, 3)  # for record_bytes only
+        n_records = max(8, n_bytes_total // ta.schema.record_bytes)
+        tables = (
+            TableSpec("Ta", fields, n_records, 3),
+            TableSpec("Tb", 16, 64, 4),
+        )
         query = SelectQuery(
             f"Arith[rs={fields}]",
             "Ta",
             tuple(range(fields)),
             Predicate.where(0, "<", 1.0),
         )
-        tables = {
-            "Ta": Table(schema, n_records, seed=3),
-            "Tb": Table(TableSchema("Tb", 16), 64, seed=4),
+        x = str(fields)
+        points.append(SweepPoint(key=("baseline", x), scheme="baseline",
+                                 query=query, tables=tables))
+        points += [
+            SweepPoint(key=(design, x), scheme=design, query=query,
+                       tables=tables)
+            for design in designs
+        ]
+    return ExperimentSpec(
+        "figure15-record-size", tuple(points),
+        normalize="divide by baseline cycles per record size",
+    )
+
+
+def run_record_size_sweep(
+    n_bytes_total: int = 1 << 20,
+    designs: Sequence[str] = FIG15_DESIGNS,
+    record_fields: Sequence[int] = RECORD_FIELDS,
+    engine: Optional[SweepEngine] = None,
+) -> SweepResult:
+    """Panel (i): vary record size at 100% projectivity and selectivity.
+
+    The table footprint is held constant (fewer records as they grow),
+    matching the paper's fixed-table-size sweep.
+    """
+    engine = engine or SweepEngine()
+    run = engine.run(build_record_size_spec(
+        n_bytes_total, designs, record_fields
+    ))
+    panel = SweepResult(
+        "arithmetic, all fields projected, 100% selected", "record size (8B)"
+    )
+    for fields in record_fields:
+        x = str(fields)
+        point: Dict[str, float] = {
+            design: run.speedup((design, x), ("baseline", x))
+            for design in designs
         }
-        base = run_query("baseline", query, tables).cycles
-        point: Dict[str, float] = {}
-        for design in designs:
-            tables = {
-                "Ta": Table(schema, n_records, seed=3),
-                "Tb": Table(TableSchema("Tb", 16), 64, seed=4),
-            }
-            result = run_query(design, query, tables)
-            point[design] = base / result.cycles
         point["ideal"] = 1.0  # row store is ideal at 100%/100%
         panel.points[fields] = point
     return panel
@@ -164,17 +259,22 @@ def run_record_size_sweep(
 def run_figure15(
     n_ta: int = 512,
     designs: Sequence[str] = FIG15_DESIGNS,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, SweepResult]:
     """All nine panels (reduced sweep density by default -- each point is
-    a full simulation of four designs)."""
+    a full simulation of four designs).  One engine runs them all, so a
+    single ``--jobs``/cache setting covers the whole figure."""
+    engine = engine or SweepEngine()
     return {
-        "a": run_selectivity_sweep(8, n_ta, designs),
-        "b": run_selectivity_sweep(64, n_ta, designs),
-        "c": run_selectivity_sweep(128, n_ta, designs),
-        "d": run_projectivity_sweep(0.10, n_ta, designs),
-        "e": run_projectivity_sweep(0.50, n_ta, designs),
-        "f": run_projectivity_sweep(1.00, n_ta, designs),
-        "g": run_selectivity_sweep(8, n_ta, designs, aggregate=True),
-        "h": run_projectivity_sweep(1.00, n_ta, designs, aggregate=True),
-        "i": run_record_size_sweep(designs=designs),
+        "a": run_selectivity_sweep(8, n_ta, designs, engine=engine),
+        "b": run_selectivity_sweep(64, n_ta, designs, engine=engine),
+        "c": run_selectivity_sweep(128, n_ta, designs, engine=engine),
+        "d": run_projectivity_sweep(0.10, n_ta, designs, engine=engine),
+        "e": run_projectivity_sweep(0.50, n_ta, designs, engine=engine),
+        "f": run_projectivity_sweep(1.00, n_ta, designs, engine=engine),
+        "g": run_selectivity_sweep(8, n_ta, designs, aggregate=True,
+                                   engine=engine),
+        "h": run_projectivity_sweep(1.00, n_ta, designs, aggregate=True,
+                                    engine=engine),
+        "i": run_record_size_sweep(designs=designs, engine=engine),
     }

@@ -13,9 +13,10 @@ Two complementary analyses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 from ..core.registry import make_scheme
+from ..exp import ExperimentSpec, SweepEngine, SweepPoint
 from ..ecc.chipkill import SSCCodec, SSCDSDCodec
 from ..ecc.injection import FAULT_MODELS, run_campaign, unprotected_tally
 from ..ecc.layout import (
@@ -74,29 +75,65 @@ def evaluate_design(design: str, trials: int = 500,
     )
 
 
-def run_reliability(trials: int = 500) -> Dict[str, ReliabilityRow]:
-    designs = (
-        "baseline", "SAM-sub", "SAM-IO", "SAM-en",
-        "GS-DRAM", "GS-DRAM-ecc", "RC-NVM-wd",
+#: the designs of the reliability matrix, in display order
+RELIABILITY_DESIGNS = (
+    "baseline", "SAM-sub", "SAM-IO", "SAM-en",
+    "GS-DRAM", "GS-DRAM-ecc", "RC-NVM-wd",
+)
+
+
+def build_reliability_spec(
+    trials: int = 500,
+    seed: int = 0,
+    designs: Sequence[str] = RELIABILITY_DESIGNS,
+) -> ExperimentSpec:
+    """The reliability matrix as data: one Monte-Carlo campaign per
+    design (``kind="reliability"`` points dispatch to
+    :func:`evaluate_design` in whichever process runs them)."""
+    points = tuple(
+        SweepPoint(
+            key=("reliability", d),
+            kind="reliability",
+            scheme=d,
+            params=(("seed", seed), ("trials", trials)),
+        )
+        for d in designs
     )
-    return {d: evaluate_design(d, trials) for d in designs}
+    return ExperimentSpec(
+        "reliability", points,
+        normalize="protection rates are already fractions",
+    )
 
 
-def reliability_payload(trials: int = 500) -> Dict[str, object]:
+def run_reliability(
+    trials: int = 500,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, ReliabilityRow]:
+    engine = engine or SweepEngine()
+    run = engine.run(build_reliability_spec(trials))
+    return {d: run[("reliability", d)] for d in RELIABILITY_DESIGNS}
+
+
+def rows_payload(rows: Dict[str, ReliabilityRow],
+                 trials: int) -> Dict[str, object]:
     """Machine-readable reliability matrix (``--json`` / artifacts)."""
     from dataclasses import asdict
 
     return {
         "kind": "reliability",
         "trials": trials,
-        "designs": {
-            name: asdict(row) for name, row in run_reliability(trials).items()
-        },
+        "designs": {name: asdict(row) for name, row in rows.items()},
     }
 
 
-def render_reliability(trials: int = 500) -> str:
-    rows = run_reliability(trials)
+def reliability_payload(
+    trials: int = 500,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, object]:
+    return rows_payload(run_reliability(trials, engine=engine), trials)
+
+
+def render_rows(rows: Dict[str, ReliabilityRow]) -> str:
     lines = [
         "design        codewords-intact  chip-fault  dq-fault  double-chip"
     ]
@@ -107,3 +144,10 @@ def render_reliability(trials: int = 500) -> str:
             f" {row.double_chip_protection:11.1%}"
         )
     return "\n".join(lines)
+
+
+def render_reliability(
+    trials: int = 500,
+    engine: Optional[SweepEngine] = None,
+) -> str:
+    return render_rows(run_reliability(trials, engine=engine))

@@ -223,6 +223,7 @@ def run_query(
     config: Optional[SystemConfig] = None,
     cost: "Optional[CostModel]" = None,
     gather_factor: Optional[int] = None,
+    timing: Optional[str] = None,
     observe: Optional[Observation] = None,
     artifacts: Optional[str] = None,
     max_events: Optional[int] = None,
@@ -234,11 +235,17 @@ def run_query(
     without one, default-on metrics, spans and the stall ring are still
     recorded.  ``artifacts`` is a shortcut for an artifacts directory.
     ``max_events`` overrides the runaway-simulation safety valve.
+    ``timing`` forces a base-timing preset by name (substrate swap) via
+    :meth:`~repro.core.scheme.AccessScheme.with_timing`; together with a
+    string ``scheme`` this keeps the whole entry point picklable, which
+    is what lets :mod:`repro.exp` run sweep points in worker processes.
     """
     from ..imdb.executor import QueryExecutor
 
     if isinstance(scheme, str):
         scheme = make_scheme(scheme, gather_factor=gather_factor)
+    if timing is not None:
+        scheme = scheme.with_timing(timing)
     config = config or SystemConfig()
     obs = observe if observe is not None else Observation()
     if artifacts is not None and obs.artifacts_dir is None:

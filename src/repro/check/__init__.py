@@ -1,0 +1,68 @@
+"""Correctness tooling: protocol checker, data oracle, trace fuzzer.
+
+``repro.check`` validates the simulator against two independent contracts:
+
+* the *timing* contract -- :class:`TimingProtocolChecker` observes every
+  controller command and asserts the JEDEC-style constraints (tRCD, tRP,
+  tRAS, tCCD, tFAW, tRFC, tWR, bus occupancy, ...), raising a structured
+  :class:`ProtocolViolation` with the offending command window;
+* the *data* contract -- :class:`PlanValidator` differentially re-derives
+  every gather plan's request and fill sets, and :class:`DataOracle`
+  checks strided gathers bit for bit through the functional datapath,
+  including transposed-codeword ECC layouts and SSC-DSD symbols.
+
+:func:`run_fuzz` drives both with seeded random configs x traces and
+shrinks any failure to a minimal JSON reproducer (``repro check fuzz``).
+"""
+
+from .fuzz import (
+    DEFAULT_SCHEMES,
+    CaseResult,
+    FuzzCase,
+    FuzzReport,
+    case_from_json,
+    case_to_json,
+    generate_case,
+    replay,
+    run_case,
+    run_fuzz,
+    shrink,
+)
+from .oracle import (
+    DataOracle,
+    FunctionalMemory,
+    OracleError,
+    OracleMismatch,
+    PlanValidator,
+    reference_line,
+)
+from .protocol import (
+    CommandRecord,
+    ProtocolError,
+    ProtocolViolation,
+    TimingProtocolChecker,
+)
+
+__all__ = [
+    "DEFAULT_SCHEMES",
+    "CaseResult",
+    "CommandRecord",
+    "DataOracle",
+    "FunctionalMemory",
+    "FuzzCase",
+    "FuzzReport",
+    "OracleError",
+    "OracleMismatch",
+    "PlanValidator",
+    "ProtocolError",
+    "ProtocolViolation",
+    "TimingProtocolChecker",
+    "case_from_json",
+    "case_to_json",
+    "generate_case",
+    "reference_line",
+    "replay",
+    "run_case",
+    "run_fuzz",
+    "shrink",
+]

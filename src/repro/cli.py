@@ -50,6 +50,10 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="re-simulate every point; neither read nor "
                              "write the result cache")
+    parser.add_argument("--check", action="store_true",
+                        help="attach the repro.check protocol checker and "
+                             "plan oracle to every simulated point (a "
+                             "violation aborts the sweep)")
 
 
 def _make_engine(args):
@@ -61,7 +65,8 @@ def _make_engine(args):
         cache = ResultCache(
             getattr(args, "cache_dir", None) or default_cache_dir()
         )
-    return SweepEngine(jobs=getattr(args, "jobs", 1), cache=cache)
+    return SweepEngine(jobs=getattr(args, "jobs", 1), cache=cache,
+                       check=getattr(args, "check", False))
 
 
 def _finish_sweep(args, name: str, engine) -> None:
@@ -208,7 +213,8 @@ def _cmd_query(args) -> int:
     tables = make_tables(args.ta, args.tb)
     observe = Observation(trace=args.trace, artifacts_dir=args.artifacts)
     result = run_query(args.scheme, query, tables,
-                       gather_factor=args.gather, observe=observe)
+                       gather_factor=args.gather, observe=observe,
+                       check=args.check)
     if args.json:
         from .obs.artifacts import to_jsonable
 
@@ -225,6 +231,11 @@ def _cmd_query(args) -> int:
             f"{stats.writes} WR, {stats.acts + stats.col_acts} ACT, "
             f"{stats.mode_switches} mode switches"
         )
+        if args.check:
+            print(
+                f"checked  : {observe.registry.value('check.commands')} "
+                f"commands, 0 violations"
+            )
     if args.stats:
         print()
         print(observe.registry.render())
@@ -241,6 +252,64 @@ def _cmd_query(args) -> int:
         base = run_query("baseline", query, tables)
         print(f"speedup  : {base.cycles / result.cycles:.2f}x over baseline")
     return 0
+
+
+def _parse_inject(pairs) -> tuple:
+    """Parse --inject PARAM=VALUE pairs into timing-override tuples."""
+    out = []
+    for pair in pairs or ():
+        name, _, value = pair.partition("=")
+        if not _ or not name:
+            raise SystemExit(f"--inject wants PARAM=VALUE, got {pair!r}")
+        out.append((name, int(value)))
+    return tuple(out)
+
+
+def _cmd_check_fuzz(args) -> int:
+    from .check import DEFAULT_SCHEMES, run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        schemes=tuple(args.schemes) if args.schemes else DEFAULT_SCHEMES,
+        inject=_parse_inject(args.inject),
+        artifacts_dir=args.artifacts,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if args.json:
+        print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    else:
+        s = report.summary()
+        status = "OK" if report.ok else "FAIL"
+        print(f"{status}: {s['cases']} cases, {s['commands']} commands "
+              f"checked, {s['failures']} failures")
+        if report.reproducer_path:
+            print(f"reproducer: {report.reproducer_path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_check_replay(args) -> int:
+    from .check import replay
+
+    result = replay(args.artifact)
+    payload = {
+        "case": result.case.describe(),
+        "commands": result.commands,
+        "failed": result.failed,
+        "signature": result.signature(),
+        "violations": [v.to_dict() for v in result.violations],
+        "mismatches": [m.to_dict() for m in result.mismatches],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"{result.case.describe()}: "
+              f"{'FAIL ' + str(result.signature()) if result.failed else 'OK'}")
+        for v in result.violations[:8]:
+            print(f"  {v}")
+        for m in result.mismatches[:8]:
+            print(f"  {m}")
+    return 1 if result.failed else 0
 
 
 def _cmd_schemes(args) -> int:
@@ -331,6 +400,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_args(p)
     p.set_defaults(func=_cmd_reliability)
 
+    p = sub.add_parser("check", help="correctness tooling (repro.check)")
+    check_sub = p.add_subparsers(dest="check_command", required=True)
+    f = check_sub.add_parser(
+        "fuzz", help="randomized config x trace fuzzing with the protocol "
+                     "checker and data oracle attached")
+    f.add_argument("--seed", type=int, default=0,
+                   help="base seed of the deterministic case stream")
+    f.add_argument("--cases", type=int, default=200,
+                   help="number of generated cases")
+    f.add_argument("--schemes", nargs="*", default=None,
+                   help="designs to draw from (default: the six core "
+                        "designs)")
+    f.add_argument("--inject", nargs="*", default=None,
+                   metavar="PARAM=VALUE",
+                   help="corrupt the controller-side timing table "
+                        "(e.g. tRCD=1) to prove the checker catches it")
+    f.add_argument("--artifacts", metavar="DIR", default=None,
+                   help="directory for minimized JSON reproducers")
+    f.add_argument("--json", action="store_true",
+                   help="print the machine-readable summary")
+    f.set_defaults(func=_cmd_check_fuzz)
+    r = check_sub.add_parser(
+        "replay", help="re-run a minimized JSON reproducer")
+    r.add_argument("artifact", help="path to a fuzz-failure-*.json file")
+    r.add_argument("--json", action="store_true",
+                   help="print the machine-readable outcome")
+    r.set_defaults(func=_cmd_check_replay)
+
     p = sub.add_parser("query", help="run one SQL statement")
     p.add_argument("sql", help="e.g. 'SELECT SUM(f9) FROM Ta WHERE f10 > "
                                "7500'")
@@ -346,6 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="attach a command tracer (report + JSONL export "
                         "with --artifacts)")
+    p.add_argument("--check", action="store_true",
+                   help="attach the repro.check protocol checker and "
+                        "plan oracle (a violation aborts the run)")
     _add_size_args(p)
     _add_output_args(p)
     p.set_defaults(func=_cmd_query)

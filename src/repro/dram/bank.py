@@ -92,3 +92,13 @@ class BankState:
         """Close the row as part of a refresh."""
         if self.open_row is not None:
             self.issue_pre(now)
+
+    def snapshot(self) -> dict:
+        """Timing-state snapshot for protocol-checker cross-validation."""
+        return {
+            "open_row": self.open_row,
+            "next_act": self.next_act,
+            "next_read": self.next_read,
+            "next_write": self.next_write,
+            "next_pre": self.next_pre,
+        }

@@ -5,12 +5,15 @@ read/write-turnaround bubbles)."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .commands import Command, RequestType
 from .geometry import Geometry
 from .rank import RankState
 from .timing import TimingParams
+
+#: (rank, req_type) of the last burst on a pin group, for bubble insertion
+_LastBurst = Optional[Tuple[int, RequestType]]
 
 
 @dataclass
@@ -22,13 +25,21 @@ class ChannelState:
     ranks: List[RankState] = field(default_factory=list)
     next_command: int = 0  # command bus: one command per cycle
     data_free: int = 0  # first cycle the full-width data bus is free
-    last_data_rank: int = -1
-    last_data_type: Optional[RequestType] = None
-    #: sub-bus occupancy for fine-granularity (AGMS/DGMS) transfers:
-    #: (rank, subrank) -> first free cycle.  A sub-rank transfer uses one
-    #: quarter of the pins, so transfers from different sub-ranks overlap;
-    #: a full-width transfer must wait for every sub-bus and vice versa.
-    subbus_free: dict = field(default_factory=dict)
+    last_full: _LastBurst = None
+    #: sub-bus (pin-group) occupancy for fine-granularity (AGMS/DGMS)
+    #: transfers: subrank -> first free cycle.  The key is the *physical*
+    #: pin group, not (rank, subrank): both ranks drive the same quarter
+    #: of the channel pins for a given sub-rank index, so sub-rank
+    #: transfers from different ranks but the same sub-rank serialize,
+    #: while transfers on different pin groups overlap; a full-width
+    #: transfer must wait for every sub-bus and vice versa.
+    subbus_free: Dict[int, int] = field(default_factory=dict)
+    #: last burst per pin group, for per-group tRTR/tRTW bubbles
+    subbus_last: Dict[int, _LastBurst] = field(default_factory=dict)
+    #: optional data-burst observer, called as
+    #: ``(now, cmd, rank, subrank, data_start, data_end)`` on every CAS
+    #: (protocol checker hook); keep None for full-speed runs
+    observer: Optional[Callable] = None
     # Statistics.  Bus occupancy is integrated in *sub-bus* units so that
     # concurrent sub-rank transfers cannot sum past the physical pin
     # count: a full-width burst books ``subranks * tBL`` units, a
@@ -49,8 +60,18 @@ class ChannelState:
         its pin fraction, so the total never exceeds elapsed cycles."""
         return self.data_busy_subbus_cycles / self.geometry.subranks
 
-    def _max_subbus_free(self) -> int:
-        return max(self.subbus_free.values(), default=0)
+    def _gap_after(self, last: _LastBurst, rank: int,
+                   req_type: RequestType) -> int:
+        """Bubble between a previous burst and one from (rank, req_type)."""
+        if last is None:
+            return 0
+        t = self.timing
+        gap = 0
+        if last[0] != rank:
+            gap = max(gap, t.tRTR)
+        if last[1] != req_type:
+            gap = max(gap, t.tRTW)
+        return gap
 
     def earliest_cas_for_bus(
         self, cmd: Command, rank: int, req_type: RequestType,
@@ -60,24 +81,26 @@ class ChannelState:
 
         A read's data occupies ``[t+CL, t+CL+tBL)``; a write's
         ``[t+CWL, t+CWL+tBL)``.  Bubbles: tRTR when the burst comes from a
-        different rank than the previous one, tRTW when the bus turns from
-        reads to writes or back.  Sub-rank transfers only conflict with
-        their own sub-bus (and any full-width transfer in flight).
+        different rank than the previous one *on the same pins*, tRTW when
+        those pins turn from reads to writes or back.  Sub-rank transfers
+        only conflict with their own pin group (and any full-width
+        transfer in flight).
         """
         t = self.timing
         latency = t.CL if cmd is Command.RD else t.CWL
-        gap = 0
-        if self.last_data_rank >= 0 and self.last_data_rank != rank:
-            gap = max(gap, t.tRTR)
-        if self.last_data_type is not None and self.last_data_type != req_type:
-            gap = max(gap, t.tRTW)
+        candidates = [(self.data_free, self.last_full)]
         if subrank is None:
-            busy = max(self.data_free, self._max_subbus_free())
+            for group, end in self.subbus_free.items():
+                candidates.append((end, self.subbus_last.get(group)))
         else:
-            busy = max(
-                self.data_free, self.subbus_free.get((rank, subrank), 0)
-            )
-        earliest_data = busy + gap
+            candidates.append((
+                self.subbus_free.get(subrank, 0),
+                self.subbus_last.get(subrank),
+            ))
+        earliest_data = max(
+            end + self._gap_after(last, rank, req_type)
+            for end, last in candidates
+        )
         return max(0, earliest_data - latency)
 
     def issue_cas(self, now: int, cmd: Command, rank: int,
@@ -90,13 +113,15 @@ class ChannelState:
         data_end = data_start + t.tBL
         if subrank is None:
             self.data_free = data_end
+            self.last_full = (rank, req_type)
             self.data_busy_subbus_cycles += t.tBL * self.geometry.subranks
         else:
-            self.subbus_free[(rank, subrank)] = data_end
+            self.subbus_free[subrank] = data_end
+            self.subbus_last[subrank] = (rank, req_type)
             # fractional width, full duration: one sub-bus worth of pins
             self.data_busy_subbus_cycles += t.tBL
-        self.last_data_rank = rank
-        self.last_data_type = req_type
+        if self.observer is not None:
+            self.observer(now, cmd, rank, subrank, data_start, data_end)
         return data_end
 
     def occupy_command_bus(self, now: int) -> None:

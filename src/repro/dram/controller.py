@@ -92,6 +92,12 @@ class MemoryController:
         #: repro.sim.trace and the obs ring buffer; keep it None for
         #: full-speed runs.
         self.observer = None
+        #: optional repro.check.TimingProtocolChecker (or any object with
+        #: its ``on_command`` signature).  Unlike ``observer`` it also sees
+        #: refresh-path precharges, REF with the rank spelled out, and the
+        #: closed-page auto-precharge (flagged ``implicit`` because it
+        #: rides on the CAS instead of occupying the command bus).
+        self.checker = None
         #: optional obs.metrics.Histogram observing completed-read latency
         #: in cycles (one observe per RD command when attached)
         self.latency_hist = None
@@ -297,6 +303,8 @@ class MemoryController:
         self.channel.occupy_command_bus(now)
         if self.observer is not None:
             self.observer(now, command, request)
+        if self.checker is not None:
+            self.checker.on_command(now, command, request)
 
         if command is Command.MRS:
             rank.issue_mode_switch(now, request.io_mode)
@@ -333,7 +341,11 @@ class MemoryController:
         self._last_cas_group = (request.addr.rank, request.addr.bank_group)
         if self.config.page_policy == "closed":
             # auto-precharge (RDA/WRA): the row closes once tRTP/tWR allow
-            bank.issue_pre(bank.earliest(Command.PRE))
+            pre_at = bank.earliest(Command.PRE)
+            if self.checker is not None:
+                self.checker.on_command(pre_at, Command.PRE, request,
+                                        implicit=True)
+            bank.issue_pre(pre_at)
             self.stats.precharges += 1
         self._account_cas(request, command)
         self.stats.row_hits += 1
@@ -379,12 +391,15 @@ class MemoryController:
         if not rank.all_banks_precharged():
             # precharge the first open bank that is allowed to close
             soonest = FOREVER
-            for bank in rank.banks:
+            for bank_id, bank in enumerate(rank.banks):
                 if bank.open_row is None:
                     continue
                 ready = bank.earliest(Command.PRE)
                 if ready <= now:
                     self.channel.occupy_command_bus(now)
+                    if self.checker is not None:
+                        self.checker.on_command(now, Command.PRE, None,
+                                                rank=rank_id, bank=bank_id)
                     bank.issue_pre(now)
                     self.stats.precharges += 1
                     return now + 1
@@ -393,6 +408,8 @@ class MemoryController:
         self.channel.occupy_command_bus(now)
         if self.observer is not None:
             self.observer(now, Command.REF, None)
+        if self.checker is not None:
+            self.checker.on_command(now, Command.REF, None, rank=rank_id)
         rank.issue_refresh(now)
         self.stats.refreshes += 1
         self._next_refresh[rank_id] += self.timing.tREFI

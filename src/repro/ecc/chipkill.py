@@ -65,7 +65,11 @@ class _RSCodecBase:
     def decode(self, data: bytes, parity: bytes) -> CorrectionReport:
         """Correct the codeword; never raises -- failures are reported."""
         if len(data) != self.data_chips or len(parity) != self.parity_chips:
-            raise ValueError("codeword has wrong shape")
+            raise ValueError(
+                f"codeword is {self.data_chips}B data + "
+                f"{self.parity_chips}B parity, got {len(data)}B + "
+                f"{len(parity)}B"
+            )
         try:
             result: DecodeResult = self.rs.decode(list(data) + list(parity))
         except DecodeFailure:
@@ -76,6 +80,12 @@ class _RSCodecBase:
 
     def check(self, data: bytes, parity: bytes) -> bool:
         """True when (data, parity) is a valid codeword."""
+        if len(data) != self.data_chips or len(parity) != self.parity_chips:
+            raise ValueError(
+                f"codeword is {self.data_chips}B data + "
+                f"{self.parity_chips}B parity, got {len(data)}B + "
+                f"{len(parity)}B"
+            )
         return not any(self.rs.syndromes(list(data) + list(parity)))
 
 

@@ -104,6 +104,16 @@ class ReedSolomon:
     def syndromes(self, codeword: Sequence[int]) -> List[int]:
         """S_i = C(alpha^i) for i = 1..n-k, with C ordered highest power
         first (codeword[0] is the highest-degree coefficient)."""
+        if len(codeword) != self.n:
+            raise ValueError(
+                f"expected {self.n} codeword symbols, got {len(codeword)}"
+            )
+        limit = 1 << self.m
+        for s in codeword:
+            if not 0 <= s < limit:
+                raise ValueError(
+                    f"symbol {s} out of range for GF(2^{self.m})"
+                )
         gf = self.gf
         out = []
         for i in range(1, self.nparity + 1):

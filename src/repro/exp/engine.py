@@ -22,6 +22,7 @@ machine-readable sweep manifest.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import time
 import warnings
@@ -51,6 +52,7 @@ def _execute_query(point: SweepPoint) -> object:
         gather_factor=point.gather_factor,
         timing=point.timing,
         max_events=point.max_events,
+        check=point.check,
     )
 
 
@@ -171,6 +173,7 @@ class SweepEngine:
         cache: Optional[ResultCache] = None,
         registry: Optional[MetricsRegistry] = None,
         profiler: Optional[SpanProfiler] = None,
+        check: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -178,6 +181,7 @@ class SweepEngine:
         self.cache = cache
         self.registry = registry or MetricsRegistry()
         self.profiler = profiler or SpanProfiler()
+        self.check = check
         self.history: List[SweepRun] = []
 
     # ---------------------------------------------------------------- runs
@@ -187,6 +191,15 @@ class SweepEngine:
         ordered exactly like ``spec.points`` no matter the executor."""
         started = time.perf_counter()
         points = spec.points
+        if self.check:
+            # every query point runs with the protocol checker attached;
+            # part of the point identity, so digests diverge from
+            # unchecked runs of the same spec
+            points = tuple(
+                dataclasses.replace(p, check=True)
+                if p.kind == "query" and not p.check else p
+                for p in points
+            )
         payloads: List[Optional[object]] = [None] * len(points)
         outcomes: List[Optional[PointOutcome]] = [None] * len(points)
         digests: List[Optional[str]] = [None] * len(points)

@@ -90,6 +90,10 @@ class SweepPoint:
     timing: Optional[str] = None  # base-timing preset override by name
     config: Optional[SystemConfig] = None
     max_events: Optional[int] = None
+    #: run with the repro.check protocol checker + plan oracle attached
+    #: (strict: a violation aborts the sweep); part of the cache digest,
+    #: so checked and unchecked payloads never alias
+    check: bool = False
     params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:

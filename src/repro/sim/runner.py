@@ -227,8 +227,16 @@ def run_query(
     observe: Optional[Observation] = None,
     artifacts: Optional[str] = None,
     max_events: Optional[int] = None,
+    check: bool = False,
 ) -> RunResult:
     """Simulate one query on one design and return the measurements.
+
+    ``check`` attaches the :mod:`repro.check` correctness tooling: a
+    strict :class:`~repro.check.TimingProtocolChecker` on the memory
+    controller and a :class:`~repro.check.PlanValidator` on a private
+    copy of the scheme.  Any protocol violation or oracle mismatch
+    aborts the run with a structured exception; ``check.*`` counters
+    land in the run's metrics.
 
     ``observe`` threads a caller-owned :class:`repro.obs.Observation`
     through the run (enable tracing, choose an artifacts directory);
@@ -248,6 +256,15 @@ def run_query(
         scheme = scheme.with_timing(timing)
     config = config or SystemConfig()
     obs = observe if observe is not None else Observation()
+    if check:
+        import copy
+
+        from ..check import PlanValidator, TimingProtocolChecker
+
+        # private copy: the observer must not leak into shared/cached
+        # scheme instances (parallel sweeps reuse them across points)
+        scheme = copy.copy(scheme)
+        PlanValidator(scheme, registry=obs.registry, strict=True).attach()
     if artifacts is not None and obs.artifacts_dir is None:
         obs.artifacts_dir = artifacts
     limit = max_events if max_events is not None else _MAX_EVENTS
@@ -259,6 +276,11 @@ def run_query(
     with profiler.span("run_query", scheme=scheme.name, query=query.name):
         with profiler.span("allocate"):
             system = MemorySystem(kernel, scheme, config)
+            if check:
+                TimingProtocolChecker(
+                    scheme.timing, scheme.geometry,
+                    registry=obs.registry, strict=True,
+                ).attach(system.controller)
             placements = allocate_placements(scheme, tables)
         with profiler.span("build"):
             executor = QueryExecutor(scheme, config, tables, placements,

@@ -172,6 +172,10 @@ class MemorySystem:
         if not self._can_accept_all(plan.requests):
             return False
         self.stats.gathers += 1
+        if self.scheme.plan_observer is not None:
+            # after admission: a rejected plan is re-lowered on retry and
+            # would otherwise be observed (and validated) twice
+            self.scheme.plan_observer("read", element_addrs, plan)
         self._submit_plan(
             plan.requests,
             lambda: self._finish_gather(core, plan, callback),
@@ -246,6 +250,8 @@ class MemorySystem:
         if not self._can_accept_all(plan.requests):
             return False
         self.stats.gather_stores += 1
+        if self.scheme.plan_observer is not None:
+            self.scheme.plan_observer("write", element_addrs, plan)
         for line, mask in plan.fills:
             # keep caches coherent: update sectors that are resident
             self.write_hit(core, line, mask)

@@ -1,6 +1,9 @@
 """Property-based tests (hypothesis) on the core data structures."""
 
+import random
+
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.dram.address import AddressMapper
@@ -15,6 +18,7 @@ from repro.dram.iobuffer import (
 )
 from repro.ecc import hamming
 from repro.ecc.chipkill import SSCCodec
+from repro.ecc.injection import FAULT_MODELS, run_campaign
 from repro.ecc.rs import ReedSolomon
 from repro.cache.sector import SectorCache
 from repro.vm import PAGE_SIZE, sam_io_mapping, sam_sub_mapping
@@ -146,3 +150,111 @@ def test_stride_translation_bijective(offset):
     mapping = sam_sub_mapping(4)
     mapped = mapping.apply(offset)
     assert mapping.apply(mapped) == offset
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection round trips: the Monte-Carlo campaign of ecc/injection.py
+# must agree with an independent replay of each trial's rng stream and
+# decode classification.
+# ---------------------------------------------------------------------------
+
+def _replay_trial(codec, fault, seed):
+    """Reproduce one ``run_campaign(trials=1, seed)`` trial by hand."""
+    rng = random.Random(seed)
+    data = bytes(rng.randrange(256) for _ in range(codec.data_bytes))
+    parity = codec.encode(data)
+    masks = fault.generate(rng, codec.n)
+    bad_data = bytes(b ^ masks[i] for i, b in enumerate(data))
+    bad_parity = bytes(
+        b ^ masks[codec.data_bytes + i] for i, b in enumerate(parity)
+    )
+    report = codec.decode(bad_data, bad_parity)
+    if report.detected_uncorrectable:
+        outcome = "detected"
+    elif report.data == data:
+        outcome = "corrected"
+    else:
+        outcome = "silent"
+    return data, report, outcome
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.sampled_from(sorted(FAULT_MODELS)),
+)
+@settings(max_examples=80, deadline=None)
+def test_campaign_tally_matches_replayed_classification(seed, model_name):
+    """ReliabilityTally accounting == a per-trial replay of the decode."""
+    fault = FAULT_MODELS[model_name]
+    tally = run_campaign(SSCCodec(), fault, trials=1, seed=seed)
+    _, _, outcome = _replay_trial(SSCCodec(), fault, seed)
+    assert tally.trials == 1
+    assert tally.corrected + tally.detected + tally.silent == 1
+    assert (tally.corrected, tally.detected, tally.silent) == tuple(
+        int(outcome == kind) for kind in ("corrected", "detected", "silent")
+    )
+    assert tally.protected_rate == float(outcome != "silent")
+    assert tally.silent_rate == float(outcome == "silent")
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.sampled_from(["single_bit", "chip", "dq"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_single_chip_faults_always_corrected_bit_exact(seed, model_name):
+    """Any single-chip fault model is within SSC's guarantee: the decode
+    must return the original bytes and touch at most one symbol."""
+    codec = SSCCodec()
+    data, report, outcome = _replay_trial(
+        codec, FAULT_MODELS[model_name], seed
+    )
+    assert outcome == "corrected"
+    assert report.data == data
+    assert not report.detected_uncorrectable
+    assert len(report.corrected_chips) <= 1
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=80, deadline=None)
+def test_double_chip_fault_never_reported_corrected(seed):
+    """Two failed chips exceed SSC's distance-3 guarantee: the campaign
+    may detect or silently miscorrect, but must never tally a trial as
+    corrected (that would imply a weight-2 error was weight <= 1)."""
+    tally = run_campaign(
+        SSCCodec(), FAULT_MODELS["double_chip"], trials=1, seed=seed
+    )
+    assert tally.corrected == 0
+    assert tally.detected + tally.silent == 1
+
+
+# ---------------------------------------------------------------------------
+# Wrong-shape inputs fail loudly with descriptive messages.
+# ---------------------------------------------------------------------------
+
+def test_rs_rejects_wrong_codeword_length():
+    rs = ReedSolomon(18, 16, 8)
+    with pytest.raises(ValueError, match="expected 18 codeword symbols, got 3"):
+        rs.syndromes([1, 2, 3])
+    with pytest.raises(ValueError, match="expected 18 symbols, got 4"):
+        rs.decode([0] * 4)
+    with pytest.raises(ValueError, match="expected 16 data symbols, got 17"):
+        rs.encode([0] * 17)
+
+
+def test_rs_rejects_out_of_field_symbols():
+    rs = ReedSolomon(18, 16, 8)
+    with pytest.raises(ValueError, match=r"symbol 256 out of range for GF\(2\^8\)"):
+        rs.syndromes([0] * 17 + [256])
+    with pytest.raises(ValueError, match=r"out of range for GF\(2\^8\)"):
+        rs.decode([999] + [0] * 17)
+
+
+def test_ssc_codec_rejects_wrong_shape():
+    codec = SSCCodec()
+    with pytest.raises(ValueError, match="16B data \\+ 2B parity, got 15B \\+ 2B"):
+        codec.decode(bytes(15), bytes(2))
+    with pytest.raises(ValueError, match="got 16B \\+ 3B"):
+        codec.check(bytes(16), bytes(3))
+    with pytest.raises(ValueError, match="codeword data is 16 bytes, got 12"):
+        codec.encode(bytes(12))

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.registry import make_scheme
+from ..core.registry import _NO_STRIDE, make_scheme
 from ..core.scheme import TablePlacement
 from ..dram.commands import Request
 from ..dram.controller import ControllerConfig, MemoryController
@@ -210,7 +210,13 @@ def _pump(kernel: Kernel, mc: MemoryController,
 def run_case(case: FuzzCase, registry=None,
              oracle_data: bool = True) -> CaseResult:
     """Execute one case with checker + oracles attached (collect mode)."""
-    scheme = make_scheme(case.scheme, gather_factor=case.gather_factor)
+    # non-stride schemes reject a gather factor; the case's factor only
+    # shapes the generated trace for them
+    scheme = make_scheme(
+        case.scheme,
+        gather_factor=(case.gather_factor
+                       if case.scheme not in _NO_STRIDE else None),
+    )
     geometry = scheme.geometry
     truth = scheme.timing
     if case.refresh:

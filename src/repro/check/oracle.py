@@ -182,6 +182,54 @@ class PlanValidator(_MismatchCollector):
         self.scheme.plan_observer = self.on_plan
         return self
 
+    # ------------------------------------------- plan-vs-lowering footprint
+
+    def check_lowered_ops(self, plan, ops_per_core, placements) -> None:
+        """Static diff of lowered gathers against the physical plan.
+
+        The plan's strided operators declare their footprints (sector
+        offsets x gather groups over the operator's records); every
+        ``GatherLoad``/``GatherStore`` the lowering emitted must be one
+        of those declared gathers (skipping groups is fine -- selection
+        masks prune them -- inventing one is not).
+        """
+        from ..cpu.ops import GatherLoad, GatherStore
+
+        g = self.scheme.gather_factor
+        admitted_reads = set()
+        admitted_writes = set()
+        for node in plan.strided_nodes():
+            placement = placements[node.table]
+            for offset in node.sector_offsets:
+                for gs in range(0, node.records, g):
+                    ge = min(node.records, gs + g)
+                    group = tuple(
+                        placement.addr_of(r, offset) for r in range(gs, ge)
+                    )
+                    admitted_reads.add(group)
+                    if node.writes:
+                        admitted_writes.add(group)
+        for ops in ops_per_core:
+            for op in ops:
+                if isinstance(op, GatherStore):
+                    admitted, kind = admitted_writes, "write"
+                elif isinstance(op, GatherLoad):
+                    admitted, kind = admitted_reads, "read"
+                else:
+                    continue
+                if self.registry is not None:
+                    self.registry.counter("check.lowered_gathers").inc()
+                if tuple(op.element_addrs) not in admitted:
+                    self._mismatch(
+                        "plan-footprint", self.scheme.name,
+                        f"lowered {kind} gather of "
+                        f"{len(op.element_addrs)} elements at "
+                        f"{[hex(a) for a in op.element_addrs[:4]]}... is "
+                        f"outside every footprint the physical plan for "
+                        f"{plan.query} declared",
+                        detail=(tuple(op.element_addrs),),
+                    )
+
     # ------------------------------------------------------------- checking
 
     def on_plan(self, kind: str, element_addrs: Sequence[int],

@@ -6,7 +6,9 @@ Commands mirror the paper's artefacts:
   ``figure14c`` / ``figure15`` -- regenerate an evaluation figure;
 * ``table1``      -- the qualitative comparison matrix;
 * ``reliability`` -- the fault-injection matrix;
-* ``query``       -- run one SQL statement on a chosen design;
+* ``query``       -- run one SQL statement on a chosen design
+  (``--explain`` prints the physical plan instead of simulating);
+* ``explain``     -- show the planner's operator tree for a statement;
 * ``schemes``     -- list the available designs.
 
 Every figure/table command also speaks JSON (``--json``) and can drop
@@ -203,6 +205,49 @@ def _cmd_reliability(args) -> int:
     return code
 
 
+def _explain_one(scheme_name, query, tables, gather_factor, as_json):
+    from .imdb.planner import plan_for
+
+    plan = plan_for(scheme_name, query, tables,
+                    gather_factor=gather_factor)
+    if as_json:
+        return plan.to_dict()
+    return plan.explain()
+
+
+def _cmd_explain(args) -> int:
+    from .core.registry import available_schemes
+    from .harness.workload import make_tables
+    from .imdb.sql import parse
+
+    query = parse(args.sql, name="cli")
+    tables = make_tables(args.ta, args.tb)
+    schemes = available_schemes() if args.all_schemes else [args.scheme]
+
+    def gather_for(name):
+        # stride-less designs reject an explicit gather factor; with
+        # --all-schemes the flag only applies where it is meaningful
+        from .core.registry import _NO_STRIDE
+
+        if args.all_schemes and name in _NO_STRIDE:
+            return None
+        return args.gather
+
+    if args.json:
+        payload = {
+            name: _explain_one(name, query, tables, gather_for(name), True)
+            for name in schemes
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    blocks = []
+    for name in schemes:
+        tree = _explain_one(name, query, tables, gather_for(name), False)
+        blocks.append(f"-- {name} --\n{tree}" if args.all_schemes else tree)
+    print("\n\n".join(blocks))
+    return 0
+
+
 def _cmd_query(args) -> int:
     from .harness.workload import make_tables
     from .imdb.sql import parse
@@ -211,6 +256,13 @@ def _cmd_query(args) -> int:
 
     query = parse(args.sql, name="cli")
     tables = make_tables(args.ta, args.tb)
+    if args.explain:
+        # plan only -- no simulation
+        out = _explain_one(args.scheme, query, tables, args.gather,
+                           args.json)
+        print(json.dumps(out, indent=2, sort_keys=True) if args.json
+              else out)
+        return 0
     observe = Observation(trace=args.trace, artifacts_dir=args.artifacts)
     result = run_query(args.scheme, query, tables,
                        gather_factor=args.gather, observe=observe,
@@ -446,9 +498,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="attach the repro.check protocol checker and "
                         "plan oracle (a violation aborts the run)")
+    p.add_argument("--explain", action="store_true",
+                   help="print the physical plan (operator tree with "
+                        "access modes, footprints and cost estimates) "
+                        "instead of simulating")
     _add_size_args(p)
     _add_output_args(p)
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "explain", help="show the physical query plan without running it")
+    p.add_argument("sql", help="e.g. 'SELECT f3 FROM Ta WHERE f10 > 7500'")
+    p.add_argument("--scheme", default="SAM-en")
+    p.add_argument("--all-schemes", action="store_true",
+                   help="print the plan under every registered design")
+    p.add_argument("--gather", type=int, default=None,
+                   help="gather factor (2/4/8)")
+    _add_size_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit the plan tree(s) as JSON")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("schemes", help="list available designs")
     p.add_argument("--json", action="store_true",

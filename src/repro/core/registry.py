@@ -25,6 +25,10 @@ _FACTORIES: Dict[str, Callable[..., AccessScheme]] = {
     "sub-rank": SubRankScheme,
 }
 
+#: Designs without strided-access hardware: a ``gather_factor`` is
+#: meaningless for them and :func:`make_scheme` rejects non-default ones.
+_NO_STRIDE = frozenset({"baseline", "column-store", "sub-rank"})
+
 #: The designs plotted in Figure 12, in the paper's legend order.
 FIGURE12_DESIGNS = (
     "RC-NVM-bit",
@@ -50,7 +54,9 @@ def make_scheme(
 
     ``gather_factor`` sets the strided granularity for stride-capable
     designs: 8 elements/burst at the 4-bit SSC-DSD granularity (the
-    default of Figure 12), 4 at 8-bit SSC, 2 at 16-bit.
+    default of Figure 12), 4 at 8-bit SSC, 2 at 16-bit.  Designs without
+    strided hardware (``baseline``, ``column-store``, ``sub-rank``)
+    reject any non-default gather factor instead of silently ignoring it.
     """
     try:
         factory = _FACTORIES[name]
@@ -58,8 +64,15 @@ def make_scheme(
         raise KeyError(
             f"unknown scheme {name!r}; available: {available_schemes()}"
         ) from None
-    if name in ("baseline", "column-store", "sub-rank") or (
-        gather_factor is None
-    ):
+    if name in _NO_STRIDE:
+        if gather_factor not in (None, 1):
+            raise ValueError(
+                f"scheme {name!r} has no strided access hardware and "
+                f"cannot honor gather_factor={gather_factor}; omit the "
+                f"gather factor (or pass 1) for "
+                f"{sorted(_NO_STRIDE)}"
+            )
+        return factory(geometry)
+    if gather_factor is None:
         return factory(geometry)
     return factory(geometry, gather_factor=gather_factor)

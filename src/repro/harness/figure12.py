@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.registry import FIGURE12_DESIGNS
+from ..core.registry import FIGURE12_DESIGNS, _NO_STRIDE
 from ..exp import ExperimentSpec, SweepEngine, SweepPoint, standard_tables
 from ..imdb.queries import q_queries, qs_queries
 from .workload import geomean
@@ -140,9 +140,11 @@ def build_figure12_spec(
         for q in all_q
     ]
     for design in designs:
+        # designs without stride hardware reject a gather factor
+        gf = gather_factor if design not in _NO_STRIDE else None
         points += [
             SweepPoint(key=(design, q.name), scheme=design, query=q,
-                       tables=tables, gather_factor=gather_factor)
+                       tables=tables, gather_factor=gf)
             for q in all_q
         ]
     if include_ideal:

@@ -1,6 +1,16 @@
-"""In-memory database workload: schemas, queries, executor."""
+"""In-memory database workload: schemas, queries, planner, executor."""
 
 from .executor import CostModel, ExecutorOutput, QueryExecutor
+from .lowering import Lowering
+from .plan import (
+    LogicalNode,
+    LogicalPlan,
+    PhysicalNode,
+    PhysicalPlan,
+    logical_plan,
+    selected_mask,
+)
+from .planner import Planner, ideal_choice, join_matches, plan_for
 from .queries import (
     aggregate_query,
     all_queries,
@@ -26,6 +36,17 @@ __all__ = [
     "CostModel",
     "ExecutorOutput",
     "QueryExecutor",
+    "Lowering",
+    "LogicalNode",
+    "LogicalPlan",
+    "PhysicalNode",
+    "PhysicalPlan",
+    "Planner",
+    "ideal_choice",
+    "join_matches",
+    "logical_plan",
+    "plan_for",
+    "selected_mask",
     "aggregate_query",
     "all_queries",
     "arithmetic_query",

@@ -1,69 +1,53 @@
-"""Query execution: query plan -> per-core memory-op streams + results.
+"""Query execution: plan -> lower -> per-core op streams + results.
 
-The executor is the software half of the paper's system support: it knows
-the scheme's strided granularity, aligns the database accordingly (Section
-5.4.1) and emits ``sload``/``sstore`` groups for stride-capable designs, or
-plain loads/stores otherwise.  It also *computes the actual query answer*
-from the table data, so correctness of every scheme's access plan is
-checkable: a plan that skips data the query needs would produce the wrong
-answer in tests.
+The executor is now a thin orchestrator over the planning IR:
 
-Mode selection mirrors the paper's evaluation: column-preferring queries
-(Q1-Q12, the Figure 15 sweeps) use strided accesses on stride-capable
-schemes and field-wise loads otherwise; row-preferring queries (Qs1-Qs6)
-scan records in row order on every design -- there the layouts, not the
-access modes, make the difference.
+* :mod:`repro.imdb.plan` defines the logical/physical plan nodes,
+* :mod:`repro.imdb.planner` chooses the access mode per operator
+  (strided vs plain, the paper's Figure 15 crossover) and costs it,
+* :mod:`repro.imdb.lowering` turns the chosen plan into memory ops.
+
+What stays here is the part simulation cannot outsource: the *ground
+truth*.  The executor computes the actual query answer from the table
+data (and applies updates/inserts), so correctness of every scheme's
+access plan is checkable -- a plan that skips data the query needs would
+produce the wrong answer in tests.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..core.scheme import AccessScheme, Placement
-from ..cpu.ops import Compute, GatherLoad, GatherStore, Load, MemOp, Store
+from ..cpu.ops import MemOp
 from ..sim.config import SystemConfig
+from .lowering import Lowering
+from .plan import CostModel, PhysicalPlan, selected_mask
+from .planner import Planner, join_matches
 from .query import (
     AggregateQuery,
     InsertQuery,
     JoinQuery,
-    Predicate,
     Query,
     SelectQuery,
     UpdateQuery,
 )
-from .schema import PREDICATE_RANGE, Table
+from .schema import Table
 
-
-@dataclass(frozen=True)
-class CostModel:
-    """CPU work per element, in CPU cycles (converted via the config)."""
-
-    predicate_eval: float = 2.0
-    project_field: float = 1.0
-    aggregate_value: float = 2.0
-    materialize_line: float = 4.0
-    hash_build: float = 10.0
-    hash_probe: float = 12.0
-    insert_line: float = 2.0
-    #: execution batch: records processed per operator round.  The default
-    #: of one gather group matches the paper's executor (predicate and
-    #: projection of a record group are adjacent, giving SAM its row-buffer
-    #: hits and charging RC-NVM its per-group field switches).  Larger
-    #: batches model column-at-a-time vectorized engines.
-    batch_records: int = 8
+__all__ = ["CostModel", "ExecutorOutput", "QueryExecutor"]
 
 
 @dataclass
 class ExecutorOutput:
-    """Per-core op streams plus the ground-truth result."""
+    """Per-core op streams, the chosen plan, and the ground-truth result."""
 
     ops_per_core: List[List[MemOp]]
     result: object
     selected_records: int = 0
+    plan: Optional[PhysicalPlan] = None
 
     @property
     def total_ops(self) -> int:
@@ -71,7 +55,8 @@ class ExecutorOutput:
 
 
 class QueryExecutor:
-    """Lowers queries for one scheme over one set of placed tables."""
+    """Plans and lowers queries for one scheme over one set of placed
+    tables, and computes the ground-truth answers."""
 
     def __init__(
         self,
@@ -87,286 +72,9 @@ class QueryExecutor:
         self.placements = placements
         self.cost = cost or CostModel()
         self.line_bytes = scheme.geometry.cacheline_bytes
-
-    # ------------------------------------------------------------- helpers
-
-    def _cycles(self, cpu_cycles: float) -> float:
-        return self.config.compute_cycles(cpu_cycles)
-
-    def _partition(self, n: int,
-                   placement: Optional[Placement] = None
-                   ) -> List[List[Tuple[int, int]]]:
-        """Round-robin chunk assignment: core ``c`` processes chunks
-        ``c, c + cores, c + 2*cores, ...`` (static interleaved scheduling,
-        the usual parallel-scan decomposition; contiguous partitions would
-        put every core on the same bank in lockstep whenever the partition
-        size resonates with the bank interleave).  Chunks are split into
-        operator batches; the chunk size honours the placement's
-        partition granularity so vertical layouts keep workers on
-        separate banks."""
-        cores = self.config.cores
-        g = self.scheme.gather_factor
-        batch = max(g, self.cost.batch_records // g * g)
-        chunk = batch
-        if placement is not None:
-            gran = placement.partition_granularity
-            chunk = max(batch, (gran + batch - 1) // batch * batch)
-        parts: List[List[Tuple[int, int]]] = [[] for _ in range(cores)]
-        index = 0
-        for cs in range(0, n, chunk):
-            ce = min(n, cs + chunk)
-            core = index % cores
-            for bs in range(cs, ce, batch):
-                parts[core].append((bs, min(ce, bs + batch)))
-            index += 1
-        return parts
-
-    def _groups(self, start: int, end: int):
-        g = self.scheme.gather_factor
-        for gs in range(start, end, g):
-            yield gs, min(end, gs + g)
-
-    @staticmethod
-    def _coalesce(segments):
-        """Merge adjacent (start, end) segments into maximal runs."""
-        merged: List[Tuple[int, int]] = []
-        for bs, be in segments:
-            if merged and merged[-1][1] == bs:
-                merged[-1] = (merged[-1][0], be)
-            else:
-                merged.append((bs, be))
-        return merged
-
-    def _batches(self, start: int, end: int):
-        """Vectorized-execution batches (aligned to the gather factor)."""
-        g = self.scheme.gather_factor
-        batch = max(g, self.cost.batch_records // g * g)
-        for bs in range(start, end, batch):
-            yield bs, min(end, bs + batch)
-
-    def _effective_gather(self, table: Table) -> int:
-        """Elements one gather burst actually covers for field scans.
-
-        Row-constrained gathers (SAM-IO/en sub-row stride, GS-DRAM
-        intra-row shift) cannot cross a DRAM row: huge records leave
-        fewer (eventually one) field elements per row."""
-        g = self.scheme.gather_factor
-        if not self.scheme.gather_within_row:
-            return g
-        row_bytes = self.scheme.geometry.row_bytes
-        per_row = max(1, row_bytes // max(1, table.schema.record_bytes))
-        return max(1, min(g, per_row))
-
-    def _stride_worthwhile(
-        self,
-        table: Table,
-        pred_fields: Sequence[int],
-        proj_fields: Optional[Sequence[int]],
-        selectivity: float,
-    ) -> bool:
-        """Mode choice: strided (column) access vs plain row-wise loads.
-
-        A SAM-class system can serve a query either way, so the executor
-        compares estimated bursts per record -- the paper's Figure 15
-        shows exactly this behaviour: at full projectivity the designs
-        converge to the row store.
-        """
-        if not self.scheme.supports_stride:
-            return False
-        g_eff = self._effective_gather(table)
-        g = self.scheme.gather_factor
-        pred_sectors = len(self._sector_offsets(table, pred_fields))
-        lines = max(1, table.schema.record_bytes // self.line_bytes)
-        if proj_fields is None:
-            # SELECT *: projection is a row read either way; the choice
-            # only covers the predicate scan
-            col_cost = pred_sectors / g_eff
-            row_cost = 1.0
-            return col_cost < row_cost
-        proj_sectors = len(self._sector_offsets(table, proj_fields))
-        p_any = min(1.0, selectivity * g)
-        col_cost = (pred_sectors + proj_sectors * p_any) / g_eff
-        pred_lines = len(self._line_spans(table, pred_fields)) if (
-            pred_fields
-        ) else 0
-        proj_lines = len(self._line_spans(table, proj_fields))
-        row_cost = max(1, pred_lines) + selectivity * min(
-            lines, proj_lines
-        )
-        return col_cost < row_cost
-
-    def _sector_offsets(self, table: Table, fields: Sequence[int]) -> List[int]:
-        """Distinct sector-aligned record offsets covering ``fields``."""
-        sb = self.scheme.sector_bytes
-        offsets = sorted(
-            {
-                (table.schema.field_offset(f) // sb) * sb
-                for f in fields
-            }
-        )
-        return offsets
-
-    def _line_spans(self, table: Table,
-                    fields: Sequence[int]) -> List[Tuple[int, int]]:
-        """Per touched line: (first offset, read size) covering the fields
-        that fall into that line of the record."""
-        fb = table.schema.field_bytes
-        by_line: Dict[int, List[int]] = {}
-        for f in fields:
-            off = table.schema.field_offset(f)
-            by_line.setdefault(off // self.line_bytes, []).append(off)
-        spans = []
-        for line_index in sorted(by_line):
-            offs = sorted(by_line[line_index])
-            first = offs[0]
-            last_end = offs[-1] + fb
-            spans.append((first, last_end - first))
-        return spans
-
-    def _selected(self, table: Table,
-                  predicate: Optional[Predicate]) -> np.ndarray:
-        if predicate is None:
-            return np.ones(table.n_records, dtype=bool)
-        mask = np.ones(table.n_records, dtype=bool)
-        for conj in predicate.conjuncts:
-            column = table.column(conj.field)
-            if conj.op == ">":
-                threshold = int(PREDICATE_RANGE * (1.0 - conj.selectivity))
-                mask &= column > threshold
-            elif conj.op == "<":
-                threshold = int(PREDICATE_RANGE * conj.selectivity)
-                mask &= column < threshold
-            else:  # equality: pick a value hitting ~selectivity
-                span = max(1, int(PREDICATE_RANGE * conj.selectivity))
-                mask &= column < span  # model: matches the rare key set
-        return mask
-
-    # ----------------------------------------------------- field-wise scans
-
-    def _emit_field_access(
-        self,
-        ops: List[MemOp],
-        placement: Placement,
-        table: Table,
-        bs: int,
-        be: int,
-        fields: Sequence[int],
-        selected: Optional[np.ndarray],
-        write_fields: Optional[Sequence[int]] = None,
-        force_plain: bool = False,
-    ) -> None:
-        """Access ``fields`` of records [bs, be), column-at-a-time.
-
-        Field-major order across the whole batch: every gather (or load)
-        stream for one field finishes before the next field starts, the
-        vectorized execution style that amortizes RC-NVM's column-to-column
-        switches over a batch instead of paying one per record group.
-        ``selected`` skips record groups with no selected member (the
-        hardware still gathers whole groups).
-        """
-        if self.scheme.supports_stride and not force_plain:
-            for offset in self._sector_offsets(table, fields):
-                for gs, ge in self._groups(bs, be):
-                    if selected is not None and not selected[gs:ge].any():
-                        continue
-                    ops.append(
-                        GatherLoad(
-                            [placement.addr_of(r, offset)
-                             for r in range(gs, ge)]
-                        )
-                    )
-            if write_fields:
-                for offset in self._sector_offsets(table, write_fields):
-                    for gs, ge in self._groups(bs, be):
-                        if (selected is not None
-                                and not selected[gs:ge].any()):
-                            continue
-                        ops.append(
-                            GatherStore(
-                                [placement.addr_of(r, offset)
-                                 for r in range(gs, ge)]
-                            )
-                        )
-            return
-        if getattr(placement, "field_runs_contiguous", False):
-            # Pure column store: a field's values are consecutive, so the
-            # scan uses full-line vector loads (8 records per load).
-            fb = table.schema.field_bytes
-            per_line = self.line_bytes // fb
-            for f in sorted(set(fields)):
-                off = table.schema.field_offset(f)
-                for cs in range(bs, be, per_line):
-                    ce = min(be, cs + per_line)
-                    if selected is not None and not selected[cs:ce].any():
-                        continue
-                    ops.append(
-                        Load(placement.addr_of(cs, off), fb * (ce - cs))
-                    )
-            if write_fields:
-                for f in sorted(set(write_fields)):
-                    off = table.schema.field_offset(f)
-                    for cs in range(bs, be, per_line):
-                        ce = min(be, cs + per_line)
-                        if (selected is not None
-                                and not selected[cs:ce].any()):
-                            continue
-                        ops.append(
-                            Store(placement.addr_of(cs, off),
-                                  fb * (ce - cs))
-                        )
-                write_fields = None
-        if placement.contiguous_records:
-            spans = self._line_spans(table, fields)
-        elif getattr(placement, "field_runs_contiguous", False):
-            spans = []  # handled by the vector loads above
-        else:
-            fb = table.schema.field_bytes
-            spans = [
-                (table.schema.field_offset(f), fb) for f in sorted(fields)
-            ]
-        for offset, size in spans:
-            for r in range(bs, be):
-                if selected is not None and not selected[r]:
-                    continue
-                ops.append(Load(placement.addr_of(r, offset), size))
-        if write_fields:
-            fb = table.schema.field_bytes
-            for f in write_fields:
-                off = table.schema.field_offset(f)
-                for r in range(bs, be):
-                    if selected is not None and not selected[r]:
-                        continue
-                    ops.append(Store(placement.addr_of(r, off), fb))
-
-    def _emit_record_read(
-        self,
-        ops: List[MemOp],
-        placement: Placement,
-        table: Table,
-        record: int,
-        skip_line: Optional[int] = None,
-    ) -> None:
-        """Row-mode read of one whole record.
-
-        Contiguous placements read line by line; a column-major placement
-        must touch every field region separately -- the reason the pure
-        column store collapses on row-preferring queries.
-        """
-        rb = table.schema.record_bytes
-        if placement.contiguous_records:
-            for offset in range(0, rb, self.line_bytes):
-                if (skip_line is not None
-                        and offset // self.line_bytes == skip_line):
-                    continue
-                size = min(self.line_bytes, rb - offset)
-                ops.append(Load(placement.addr_of(record, offset), size))
-            return
-        fb = table.schema.field_bytes
-        for f in range(table.schema.n_fields):
-            off = table.schema.field_offset(f)
-            if skip_line is not None and off // self.line_bytes == skip_line:
-                continue
-            ops.append(Load(placement.addr_of(record, off), fb))
+        self.planner = Planner(scheme, config, tables, placements, self.cost)
+        self.lowering = Lowering(scheme, config, tables, placements,
+                                 self.cost)
 
     # ------------------------------------------------------------ dispatch
 
@@ -387,25 +95,15 @@ class QueryExecutor:
 
     def _build_select(self, query: SelectQuery) -> ExecutorOutput:
         table = self.tables[query.table]
-        placement = self.placements[query.table]
-        selected = self._selected(table, query.predicate)
+        selected = selected_mask(table, query.predicate)
         n = table.n_records
         if query.limit is not None:
             n = min(n, query.limit)
             selected = selected.copy()
             selected[n:] = False
-        ops_per_core: List[List[MemOp]] = []
 
-        if query.prefers == "row" or (
-            query.predicate is None and query.projected is None
-        ):
-            ops_per_core = self._row_mode_select(
-                table, placement, query, selected, n
-            )
-        else:
-            ops_per_core = self._column_mode_select(
-                table, placement, query, selected, n
-            )
+        plan = self.planner.plan(query, selected=selected)
+        ops_per_core = self.lowering.lower(query, plan, selected=selected)
 
         rows = np.flatnonzero(selected[:n])
         if query.projected is None:
@@ -418,147 +116,17 @@ class QueryExecutor:
                 len(rows),
                 int(data.sum()) if data is not None else 0,
             )
-        return ExecutorOutput(ops_per_core, result, int(len(rows)))
-
-    def _column_mode_select(self, table, placement, query, selected, n):
-        pred_fields = list(query.predicate.fields) if query.predicate else []
-        sel_frac = float(selected[:n].mean()) if n else 0.0
-        plain = not self._stride_worthwhile(
-            table, pred_fields, query.projected, sel_frac
-        )
-        ops_per_core = []
-        for segments in self._partition(n, placement):
-            ops: List[MemOp] = []
-            for bs, be in segments:
-                size = be - bs
-                if pred_fields:
-                    self._emit_field_access(
-                        ops, placement, table, bs, be, pred_fields, None,
-                        force_plain=plain,
-                    )
-                    ops.append(
-                        Compute(
-                            self._cycles(self.cost.predicate_eval * size)
-                        )
-                    )
-                nsel = int(selected[bs:be].sum())
-                if nsel == 0:
-                    continue
-                if query.projected is None:
-                    # SELECT *: fall back to row reads of selected records
-                    for r in range(bs, be):
-                        if selected[r]:
-                            self._emit_record_read(ops, placement, table, r)
-                    lines = table.schema.record_bytes // self.line_bytes
-                    ops.append(
-                        Compute(
-                            self._cycles(
-                                self.cost.materialize_line
-                                * max(1, lines) * nsel
-                            )
-                        )
-                    )
-                else:
-                    self._emit_field_access(
-                        ops, placement, table, bs, be,
-                        list(query.projected), selected,
-                        force_plain=plain,
-                    )
-                    ops.append(
-                        Compute(
-                            self._cycles(
-                                self.cost.project_field
-                                * nsel * len(query.projected)
-                            )
-                        )
-                    )
-            ops_per_core.append(ops)
-        return ops_per_core
-
-    def _row_mode_select(self, table, placement, query, selected, n):
-        pred_fields = list(query.predicate.fields) if query.predicate else []
-        pred_line = (
-            table.schema.field_offset(pred_fields[0]) // self.line_bytes
-            if pred_fields
-            else None
-        )
-        lines = max(1, table.schema.record_bytes // self.line_bytes)
-        ops_per_core = []
-        for segments in self._partition(n, placement):
-            ops: List[MemOp] = []
-            for r in (r for bs, be in segments for r in range(bs, be)):
-                if pred_fields:
-                    if placement.contiguous_records:
-                        spans = self._line_spans(table, pred_fields)
-                    else:
-                        fb = table.schema.field_bytes
-                        spans = [
-                            (table.schema.field_offset(f), fb)
-                            for f in pred_fields
-                        ]
-                    for offset, size in spans:
-                        ops.append(Load(placement.addr_of(r, offset), size))
-                    ops.append(
-                        Compute(self._cycles(self.cost.predicate_eval))
-                    )
-                    if not selected[r]:
-                        continue
-                    self._emit_record_read(
-                        ops, placement, table, r, skip_line=pred_line
-                    )
-                else:
-                    self._emit_record_read(ops, placement, table, r)
-                ops.append(
-                    Compute(
-                        self._cycles(self.cost.materialize_line * lines)
-                    )
-                )
-            ops_per_core.append(ops)
-        return ops_per_core
+        return ExecutorOutput(ops_per_core, result, int(len(rows)), plan)
 
     # ------------------------------------------------------------ AGGREGATE
 
     def _build_aggregate(self, query: AggregateQuery) -> ExecutorOutput:
         table = self.tables[query.table]
-        placement = self.placements[query.table]
-        selected = self._selected(table, query.predicate)
-        pred_fields = list(query.predicate.fields) if query.predicate else []
-        ops_per_core = []
-        sel_frac = float(selected.mean())
-        plain = not self._stride_worthwhile(
-            table, pred_fields, list(query.fields), sel_frac
-        )
-        for segments in self._partition(table.n_records, placement):
-            ops: List[MemOp] = []
-            # Aggregates process each field independently over the whole
-            # chunk (field-at-a-time): this is what relieves RC-NVM's
-            # column-to-column switching in Figure 15(g)/(h).
-            for bs, be in self._coalesce(segments):
-                size = be - bs
-                if pred_fields:
-                    self._emit_field_access(
-                        ops, placement, table, bs, be, pred_fields, None,
-                        force_plain=plain,
-                    )
-                    ops.append(
-                        Compute(self._cycles(self.cost.predicate_eval * size))
-                    )
-                nsel = int(selected[bs:be].sum())
-                if nsel == 0:
-                    continue
-                self._emit_field_access(
-                    ops, placement, table, bs, be, list(query.fields),
-                    selected, force_plain=plain,
-                )
-                ops.append(
-                    Compute(
-                        self._cycles(
-                            self.cost.aggregate_value
-                            * nsel * len(query.fields)
-                        )
-                    )
-                )
-            ops_per_core.append(ops)
+        selected = selected_mask(table, query.predicate)
+
+        plan = self.planner.plan(query, selected=selected)
+        ops_per_core = self.lowering.lower(query, plan, selected=selected)
+
         rows = np.flatnonzero(selected)
         sums = {
             f: int(table.column(f)[rows].sum()) if len(rows) else 0
@@ -568,151 +136,42 @@ class QueryExecutor:
             result = {f: sums[f] / len(rows) for f in query.fields}
         else:
             result = sums
-        return ExecutorOutput(ops_per_core, result, int(len(rows)))
+        return ExecutorOutput(ops_per_core, result, int(len(rows)), plan)
 
     # --------------------------------------------------------------- UPDATE
 
     def _build_update(self, query: UpdateQuery) -> ExecutorOutput:
         table = self.tables[query.table]
-        placement = self.placements[query.table]
-        selected = self._selected(table, query.predicate)
-        pred_fields = list(query.predicate.fields)
-        write_fields = [f for f, _v in query.assignments]
-        ops_per_core = []
-        for segments in self._partition(table.n_records, placement):
-            ops: List[MemOp] = []
-            for bs, be in segments:
-                size = be - bs
-                self._emit_field_access(
-                    ops, placement, table, bs, be, pred_fields, None
-                )
-                ops.append(
-                    Compute(self._cycles(self.cost.predicate_eval * size))
-                )
-                nsel = int(selected[bs:be].sum())
-                if nsel == 0:
-                    continue
-                if self.scheme.supports_stride:
-                    # sload the target sectors, patch, sstore them back
-                    self._emit_field_access(
-                        ops, placement, table, bs, be,
-                        write_fields, selected, write_fields=write_fields,
-                    )
-                else:
-                    fb = table.schema.field_bytes
-                    for f in write_fields:
-                        off = table.schema.field_offset(f)
-                        for r in range(bs, be):
-                            if not selected[r]:
-                                continue
-                            ops.append(
-                                Store(placement.addr_of(r, off), fb)
-                            )
-                ops.append(
-                    Compute(
-                        self._cycles(
-                            self.cost.project_field * nsel
-                            * len(write_fields)
-                        )
-                    )
-                )
-            ops_per_core.append(ops)
+        selected = selected_mask(table, query.predicate)
+
+        plan = self.planner.plan(query, selected=selected)
+        ops_per_core = self.lowering.lower(query, plan, selected=selected)
+
         rows = np.flatnonzero(selected)
         for f, v in query.assignments:
             table.values[rows, f] = v
-        return ExecutorOutput(ops_per_core, int(len(rows)), int(len(rows)))
+        return ExecutorOutput(ops_per_core, int(len(rows)), int(len(rows)),
+                              plan)
 
     # --------------------------------------------------------------- INSERT
 
     def _build_insert(self, query: InsertQuery) -> ExecutorOutput:
-        table = self.tables[query.table]
-        key = f"{query.table}+insert"
-        placement = self.placements[key]
-        n = query.n_records or table.n_records
-        n = min(n, placement.table.n_records)
-        rb = table.schema.record_bytes
-        lines = max(1, rb // self.line_bytes)
-        ops_per_core = []
-        for segments in self._partition(n, placement):
-            ops: List[MemOp] = []
-            for r in (r for bs, be in segments for r in range(bs, be)):
-                if placement.contiguous_records:
-                    for offset in range(0, rb, self.line_bytes):
-                        size = min(self.line_bytes, rb - offset)
-                        ops.append(
-                            Store(placement.addr_of(r, offset), size)
-                        )
-                else:
-                    fb = table.schema.field_bytes
-                    for f in range(table.schema.n_fields):
-                        off = table.schema.field_offset(f)
-                        ops.append(
-                            Store(placement.addr_of(r, off), fb)
-                        )
-                ops.append(
-                    Compute(self._cycles(self.cost.insert_line * lines))
-                )
-            ops_per_core.append(ops)
-        return ExecutorOutput(ops_per_core, n, n)
+        plan = self.planner.plan(query)
+        ops_per_core = self.lowering.lower(query, plan)
+        n = plan.node("insert").records
+        return ExecutorOutput(ops_per_core, n, n, plan)
 
     # ----------------------------------------------------------------- JOIN
 
     def _build_join(self, query: JoinQuery) -> ExecutorOutput:
         build = self.tables[query.build_table]
         probe = self.tables[query.probe_table]
-        build_pl = self.placements[query.build_table]
-        probe_pl = self.placements[query.probe_table]
-        key = query.key_field
-        extra = query.extra_compare_field
+        matches, probe_match = join_matches(
+            build, probe, query.key_field, query.extra_compare_field
+        )
 
-        # ground truth: hash join on the key
-        build_keys: Dict[int, List[int]] = {}
-        for i, value in enumerate(build.column(key)):
-            build_keys.setdefault(int(value), []).append(i)
-        matches = 0
-        probe_match = np.zeros(probe.n_records, dtype=bool)
-        for i, value in enumerate(probe.column(key)):
-            for j in build_keys.get(int(value), ()):
-                if extra is None or (
-                    probe.values[i, extra] > build.values[j, extra]
-                ):
-                    matches += 1
-                    probe_match[i] = True
-
-        build_fields = [key, query.project_build]
-        if extra is not None:
-            build_fields.append(extra)
-        probe_fields = [key] + ([extra] if extra is not None else [])
-
-        ops_per_core = []
-        build_parts = self._partition(build.n_records, build_pl)
-        probe_parts = self._partition(probe.n_records, probe_pl)
-        for core in range(self.config.cores):
-            ops: List[MemOp] = []
-            # build phase (each core hashes its slice of the build table)
-            for bs, be in build_parts[core]:
-                self._emit_field_access(
-                    ops, build_pl, build, bs, be, build_fields, None
-                )
-                ops.append(
-                    Compute(self._cycles(self.cost.hash_build * (be - bs)))
-                )
-            # probe phase
-            for bs, be in probe_parts[core]:
-                self._emit_field_access(
-                    ops, probe_pl, probe, bs, be, probe_fields, None
-                )
-                ops.append(
-                    Compute(self._cycles(self.cost.hash_probe * (be - bs)))
-                )
-                nsel = int(probe_match[bs:be].sum())
-                if nsel:
-                    self._emit_field_access(
-                        ops, probe_pl, probe, bs, be,
-                        [query.project_probe], probe_match,
-                    )
-                    ops.append(
-                        Compute(self._cycles(self.cost.project_field * nsel))
-                    )
-            ops_per_core.append(ops)
-        return ExecutorOutput(ops_per_core, matches, matches)
+        plan = self.planner.plan(query, probe_match=probe_match)
+        ops_per_core = self.lowering.lower(
+            query, plan, probe_match=probe_match
+        )
+        return ExecutorOutput(ops_per_core, matches, matches, plan)

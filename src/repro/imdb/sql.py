@@ -35,13 +35,27 @@ from .schema import PREDICATE_RANGE
 
 
 class SQLError(ValueError):
-    """The statement is outside the supported subset (or malformed)."""
+    """The statement is outside the supported subset (or malformed).
 
+    ``pos`` is the character offset of the offending token within the
+    original statement (``None`` when no single position applies).
+    """
+
+    def __init__(self, message: str, pos: Optional[int] = None) -> None:
+        if pos is not None:
+            message = f"{message} (at position {pos})"
+        super().__init__(message)
+        self.pos = pos
+
+
+#: One lexed token: ``(kind, value, position)``.
+Token = Tuple[str, str, int]
 
 _TOKEN = re.compile(
     r"\s*(?:"
     r"(?P<name>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)"
     r"|(?P<number>\d+)"
+    r"|(?P<string>'[^']*')"
     r"|(?P<op><=|>=|=|<|>)"
     r"|(?P<punct>[(),*])"
     r")"
@@ -53,28 +67,29 @@ _KEYWORDS = {
 }
 
 
-def _tokenize(text: str) -> List[Tuple[str, str]]:
-    tokens = []
+def _tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
     pos = 0
     while pos < len(text):
         match = _TOKEN.match(text, pos)
         if match is None:
-            if text[pos:].strip() == "":
+            rest = text[pos:]
+            if rest.strip() == "":
                 break
-            raise SQLError(f"cannot tokenize near {text[pos:pos + 12]!r}")
-        pos = match.end()
-        if match.lastgroup == "name":
-            value = match.group("name")
-            kind = (
-                "keyword" if value.lower() in _KEYWORDS else "name"
+            at = pos + (len(rest) - len(rest.lstrip()))
+            if text[at] == "'":
+                raise SQLError("unterminated string literal", pos=at)
+            raise SQLError(
+                f"cannot tokenize near {text[at:at + 12]!r}", pos=at
             )
-            tokens.append((kind, value))
-        elif match.lastgroup == "number":
-            tokens.append(("number", match.group("number")))
-        elif match.lastgroup == "op":
-            tokens.append(("op", match.group("op")))
-        elif match.lastgroup == "punct":
-            tokens.append(("punct", match.group("punct")))
+        pos = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        value = match.group(kind)
+        at = match.start(kind)
+        if kind == "name" and value.lower() in _KEYWORDS:
+            kind = "keyword"
+        tokens.append((kind, value, at))
     return tokens
 
 
@@ -86,13 +101,18 @@ class _Parser:
 
     # ------------------------------------------------------------- plumbing
 
-    def peek(self) -> Optional[Tuple[str, str]]:
+    def peek(self) -> Optional[Token]:
         return self.tokens[self.pos] if self.pos < len(self.tokens) else None
 
-    def next(self) -> Tuple[str, str]:
+    def peek_pos(self) -> int:
+        """Offset of the next token (end of statement when exhausted)."""
+        token = self.peek()
+        return token[2] if token is not None else len(self.text)
+
+    def next(self) -> Token:
         token = self.peek()
         if token is None:
-            raise SQLError("unexpected end of statement")
+            raise SQLError("unexpected end of statement", pos=len(self.text))
         self.pos += 1
         return token
 
@@ -105,11 +125,14 @@ class _Parser:
 
     def expect_keyword(self, word: str) -> None:
         if not self.accept_keyword(word):
-            raise SQLError(f"expected {word.upper()} near token {self.peek()}")
+            token = self.peek()
+            shown = token[:2] if token is not None else None
+            raise SQLError(f"expected {word.upper()} near token {shown}",
+                           pos=self.peek_pos())
 
     def accept_punct(self, char: str) -> bool:
         token = self.peek()
-        if token and token == ("punct", char):
+        if token and token[0] == "punct" and token[1] == char:
             self.pos += 1
             return True
         return False
@@ -121,26 +144,31 @@ class _Parser:
 
     def field(self) -> Tuple[Optional[str], int]:
         """A field reference: ``f10`` or ``Ta.f10``."""
-        kind, value = self.next()
+        kind, value, at = self.next()
         if kind != "name":
-            raise SQLError(f"expected a field, got {value!r}")
+            raise SQLError(f"expected a field, got {value!r}", pos=at)
         table = None
         if "." in value:
             table, value = value.split(".", 1)
         match = re.fullmatch(r"f(\d+)", value)
         if match is None:
-            raise SQLError(f"fields are named f<N>, got {value!r}")
+            raise SQLError(f"fields are named f<N>, got {value!r}", pos=at)
         return table, int(match.group(1))
+
+    def number(self, what: str) -> int:
+        """An integer literal (with a positioned error otherwise)."""
+        kind, literal, at = self.next()
+        if kind != "number":
+            raise SQLError(f"expected {what}, got {literal!r}", pos=at)
+        return int(literal)
 
     def comparison(self) -> Conjunct:
         _, field = self.field()
-        kind, op = self.next()
+        kind, op, at = self.next()
         if kind != "op":
-            raise SQLError(f"expected a comparison operator, got {op!r}")
-        kind, literal = self.next()
-        if kind != "number":
-            raise SQLError(f"expected a literal value, got {literal!r}")
-        value = int(literal)
+            raise SQLError(f"expected a comparison operator, got {op!r}",
+                           pos=at)
+        value = self.number("a literal value")
         if op in (">", ">="):
             selectivity = max(0.0, (PREDICATE_RANGE - value) / PREDICATE_RANGE)
             return Conjunct(field, ">", min(1.0, selectivity))
@@ -167,7 +195,8 @@ def parse(statement: str, name: str = "adhoc") -> Query:
         return _parse_update(p, name)
     if p.accept_keyword("insert"):
         return _parse_insert(p, name)
-    raise SQLError("statement must start with SELECT, UPDATE or INSERT")
+    raise SQLError("statement must start with SELECT, UPDATE or INSERT",
+                   pos=p.peek_pos())
 
 
 def _parse_select(p: _Parser, name: str) -> Query:
@@ -184,18 +213,21 @@ def _parse_select(p: _Parser, name: str) -> Query:
         while p.accept_punct(","):
             fields.append(p.field())
     p.expect_keyword("from")
-    kind, table = p.next()
+    kind, table, at = p.next()
     if kind != "name":
-        raise SQLError(f"expected a table name, got {table!r}")
+        raise SQLError(f"expected a table name, got {table!r}", pos=at)
     if p.accept_punct(","):
-        kind, table_b = p.next()
+        kind, table_b, _at = p.next()
         return _parse_join(p, name, table, table_b, fields)
     predicate = p.where_clause()
     limit = None
     if p.accept_keyword("limit"):
-        limit = int(p.next()[1])
+        limit = p.number("a LIMIT count")
     if not p.done():
-        raise SQLError(f"trailing tokens: {p.tokens[p.pos:]}")
+        raise SQLError(
+            f"trailing tokens: {[t[:2] for t in p.tokens[p.pos:]]}",
+            pos=p.peek_pos(),
+        )
     projected = None if star else tuple(f for _t, f in fields)
     prefers = "row" if star and predicate is None else (
         "row" if star and limit is not None else "column"
@@ -207,59 +239,62 @@ def _parse_aggregate(p: _Parser, name: str, func: str) -> AggregateQuery:
     fields = []
     while True:
         if not p.accept_punct("("):
-            raise SQLError("aggregate function needs parentheses")
+            raise SQLError("aggregate function needs parentheses",
+                           pos=p.peek_pos())
         _, field = p.field()
         fields.append(field)
         if not p.accept_punct(")"):
-            raise SQLError("unclosed aggregate parenthesis")
+            raise SQLError("unclosed aggregate parenthesis",
+                           pos=p.peek_pos())
         if not p.accept_punct(","):
             break
         nxt = p.next()
         if nxt[0] != "keyword" or nxt[1].upper() != func:
-            raise SQLError("mixed aggregate functions are not supported")
+            raise SQLError("mixed aggregate functions are not supported",
+                           pos=nxt[2])
     p.expect_keyword("from")
-    _, table = p.next()
+    _, table, _at = p.next()
     predicate = p.where_clause()
     return AggregateQuery(name, table, func, tuple(fields), predicate)
 
 
 def _parse_update(p: _Parser, name: str) -> UpdateQuery:
-    kind, table = p.next()
+    kind, table, _at = p.next()
     p.expect_keyword("set")
     assignments = []
     while True:
         _, field = p.field()
-        kind, op = p.next()
+        kind, op, at = p.next()
         if (kind, op) != ("op", "="):
-            raise SQLError("assignments use '='")
-        value = int(p.next()[1])
+            raise SQLError("assignments use '='", pos=at)
+        value = p.number("a literal value")
         assignments.append((field, value))
         if not p.accept_punct(","):
             break
     predicate = p.where_clause()
     if predicate is None:
-        raise SQLError("UPDATE requires a WHERE clause")
+        raise SQLError("UPDATE requires a WHERE clause", pos=p.peek_pos())
     return UpdateQuery(name, table, tuple(assignments), predicate)
 
 
 def _parse_insert(p: _Parser, name: str) -> InsertQuery:
     p.expect_keyword("into")
-    _, table = p.next()
+    _, table, _at = p.next()
     p.expect_keyword("values")
     n = 0
     token = p.peek()
     if token and token[0] == "number":
         n = int(p.next()[1])
-    elif token == ("punct", "("):
+    elif token and token[:2] == ("punct", "("):
         # a literal tuple: one record; count tuples
         n = 0
         while p.accept_punct("("):
             depth = 1
             while depth:
                 tok = p.next()
-                if tok == ("punct", "("):
+                if tok[:2] == ("punct", "("):
                     depth += 1
-                elif tok == ("punct", ")"):
+                elif tok[:2] == ("punct", ")"):
                     depth -= 1
             n += 1
             if not p.accept_punct(","):
@@ -270,27 +305,29 @@ def _parse_insert(p: _Parser, name: str) -> InsertQuery:
 def _parse_join(p: _Parser, name: str, table_a: str, table_b: str,
                 fields) -> JoinQuery:
     if not p.accept_keyword("where"):
-        raise SQLError("joins need a WHERE clause with the key equality")
+        raise SQLError("joins need a WHERE clause with the key equality",
+                       pos=p.peek_pos())
     key_field = None
     extra = None
     while True:
         ta, fa = p.field()
-        kind, op = p.next()
+        kind, op, at = p.next()
         tb, fb = p.field()
         if fa != fb or {ta, tb} != {table_a, table_b}:
             raise SQLError(
-                "join comparisons must relate the same field of both tables"
+                "join comparisons must relate the same field of both tables",
+                pos=at,
             )
         if op == "=":
             key_field = fa
         elif op == ">":
             extra = fa
         else:
-            raise SQLError(f"unsupported join comparison {op!r}")
+            raise SQLError(f"unsupported join comparison {op!r}", pos=at)
         if not p.accept_keyword("and"):
             break
     if key_field is None:
-        raise SQLError("joins need an equality key")
+        raise SQLError("joins need an equality key", pos=p.peek_pos())
     by_table = {t: f for t, f in fields}
     if set(by_table) != {table_a, table_b}:
         raise SQLError("project one field from each joined table")

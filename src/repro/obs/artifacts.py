@@ -95,6 +95,8 @@ def build_run_manifest(result: "RunResult",
         "bus_utilization": result.bus_utilization,
         "selected_records": result.selected_records,
         "result": to_jsonable(result.result),
+        "plan": (to_jsonable(result.plan.to_dict())
+                 if result.plan is not None else None),
         "config": to_jsonable(result.config),
         "core_stats": to_jsonable(result.core_stats),
         "memory_stats": to_jsonable(result.memory_stats),

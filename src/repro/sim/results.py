@@ -9,6 +9,7 @@ from ..dram.controller import CommandStats
 from ..power.model import PowerBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..imdb.plan import PhysicalPlan
     from ..obs.spans import Span
     from .config import SystemConfig
 
@@ -34,6 +35,8 @@ class RunResult:
     spans: "Optional[Span]" = None
     #: the SystemConfig the run used (for the run manifest)
     config: "Optional[SystemConfig]" = None
+    #: the physical plan the planner chose for this run
+    plan: "Optional[PhysicalPlan]" = None
 
     def manifest(self, extra: Optional[Dict] = None) -> Dict[str, object]:
         """The JSON run-manifest payload for this result."""

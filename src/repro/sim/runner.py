@@ -256,6 +256,7 @@ def run_query(
         scheme = scheme.with_timing(timing)
     config = config or SystemConfig()
     obs = observe if observe is not None else Observation()
+    validator = None
     if check:
         import copy
 
@@ -264,7 +265,9 @@ def run_query(
         # private copy: the observer must not leak into shared/cached
         # scheme instances (parallel sweeps reuse them across points)
         scheme = copy.copy(scheme)
-        PlanValidator(scheme, registry=obs.registry, strict=True).attach()
+        validator = PlanValidator(
+            scheme, registry=obs.registry, strict=True
+        ).attach()
     if artifacts is not None and obs.artifacts_dir is None:
         obs.artifacts_dir = artifacts
     limit = max_events if max_events is not None else _MAX_EVENTS
@@ -286,6 +289,12 @@ def run_query(
             executor = QueryExecutor(scheme, config, tables, placements,
                                      cost)
             output = executor.build(query)
+            if validator is not None and output.plan is not None:
+                # static check: every emitted gather must sit inside the
+                # physical plan's declared sector footprints
+                validator.check_lowered_ops(
+                    output.plan, output.ops_per_core, placements
+                )
             cores = [
                 Core(kernel, core_id, system, config.core)
                 for core_id in range(config.cores)
@@ -358,6 +367,7 @@ def run_query(
         metrics=obs.registry.as_dict(),
         spans=profiler.root,
         config=config,
+        plan=output.plan,
     )
     if obs.artifacts_dir is not None:
         writer = ArtifactWriter(obs.artifacts_dir)
@@ -370,10 +380,36 @@ def run_ideal(
     tables: "Dict[str, Table]",
     config: Optional[SystemConfig] = None,
     cost: "Optional[CostModel]" = None,
+    gather_factor: Optional[int] = None,
+    timing: Optional[str] = None,
+    observe: Optional[Observation] = None,
+    artifacts: Optional[str] = None,
+    max_events: Optional[int] = None,
+    check: bool = False,
 ) -> RunResult:
-    """The paper's "ideal" series: a plain row store for row-preferring
-    queries, a plain column store for column-preferring ones."""
-    name = "baseline" if query.prefers == "row" else "column-store"
-    result = run_query(name, query, tables, config, cost)
+    """The paper's "ideal" series: the min-cost plan over the two pure
+    layouts (plain row store vs plain column store).
+
+    The choice is a real planner decision -- both layouts are planned
+    and the cheaper estimated-burst total wins -- not a lookup of the
+    query's ``prefers`` annotation.  All ``run_query`` keyword arguments
+    are forwarded to the winning run.
+    """
+    from ..imdb.planner import ideal_choice
+
+    name, _estimates = ideal_choice(query, tables, config=config, cost=cost)
+    result = run_query(
+        name,
+        query,
+        tables,
+        config=config,
+        cost=cost,
+        gather_factor=gather_factor,
+        timing=timing,
+        observe=observe,
+        artifacts=artifacts,
+        max_events=max_events,
+        check=check,
+    )
     result.scheme = "ideal"
     return result

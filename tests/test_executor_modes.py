@@ -1,4 +1,4 @@
-"""Tests for the executor's access-mode choice and gather derating."""
+"""Tests for the planner's access-mode choice and gather derating."""
 
 import pytest
 
@@ -31,32 +31,32 @@ def op_kinds(output):
 class TestEffectiveGather:
     def test_row_constrained_gather_derates_with_record_size(self):
         ex, _ = make_executor("SAM-en")
-        assert ex._effective_gather(ex.tables["Ta"]) == 8  # 1KB records
+        assert ex.planner.effective_gather(ex.tables["Ta"]) == 8  # 1KB records
         big = Table(TableSchema("Big", 1024), 16, seed=3)  # 8KB records
         ex2, _ = make_executor(
             "SAM-en", ta=big
         )
-        assert ex2._effective_gather(big) == 1
+        assert ex2.planner.effective_gather(big) == 1
 
     def test_vertical_gather_not_derated(self):
         big = Table(TableSchema("Big", 1024), 16, seed=3)
         ex, _ = make_executor("SAM-sub", ta=big)
-        assert ex._effective_gather(big) == 8
+        assert ex.planner.effective_gather(big) == 8
 
 
 class TestModeChoice:
     def test_low_projectivity_uses_stride(self):
         ex, tables = make_executor("SAM-en")
-        assert ex._stride_worthwhile(tables["Ta"], [10], [3, 4], 0.25)
+        assert ex.planner.stride_worthwhile(tables["Ta"], [10], [3, 4], 0.25)
 
     def test_cost_model_prefers_sparse_projections(self):
         """The advantage shrinks as projectivity rises: at full
         projectivity on 1KB records the two modes cost about the same."""
         ex, tables = make_executor("SAM-en")
         ta = tables["Ta"]
-        assert ex._stride_worthwhile(ta, [10], [3, 4], 0.25)
+        assert ex.planner.stride_worthwhile(ta, [10], [3, 4], 0.25)
         # dense case: within 20% of the row cost (a wash, not a win)
-        g = ex._effective_gather(ta)
+        g = ex.planner.effective_gather(ta)
         col = (1 + 128) / g
         row = 1 + min(16, 16)
         assert col == pytest.approx(row, rel=0.2)
@@ -66,13 +66,13 @@ class TestModeChoice:
         ex, _ = make_executor("SAM-en", ta=big)
         # with one element per gather, stride mode has no advantage even
         # at high projectivity
-        assert not ex._stride_worthwhile(
+        assert not ex.planner.stride_worthwhile(
             big, [0], list(range(512)), 1.0
         )
 
     def test_baseline_never_strides(self):
         ex, tables = make_executor("baseline")
-        assert not ex._stride_worthwhile(tables["Ta"], [10], [3], 0.25)
+        assert not ex.planner.stride_worthwhile(tables["Ta"], [10], [3], 0.25)
 
     def test_full_projection_on_huge_records_emits_plain_loads(self):
         big = Table(TableSchema("Big", 1024), 16, seed=3)
@@ -93,7 +93,7 @@ class TestModeChoice:
 class TestAggregateExecution:
     def test_field_at_a_time_coalesces_segments(self):
         ex, _ = make_executor("SAM-en")
-        merged = ex._coalesce([(0, 8), (8, 16), (32, 40)])
+        merged = ex.lowering.coalesce([(0, 8), (8, 16), (32, 40)])
         assert merged == [(0, 16), (32, 40)]
 
     def test_aggregate_emits_fewer_operator_rounds(self):

@@ -18,6 +18,7 @@ from repro.imdb import (
     by_name,
     q_queries,
     qs_queries,
+    selected_mask,
 )
 from repro.imdb.query import Conjunct, Predicate, SelectQuery
 from repro.sim.config import SystemConfig
@@ -197,7 +198,9 @@ class TestExecutor:
         tables = {"Ta": Table(TA, 100, seed=1), "Tb": Table(TB, 64, seed=2)}
         placements = allocate_placements(scheme, tables)
         ex = QueryExecutor(scheme, config, tables, placements)
-        parts = ex._partition(100, placements["Ta"])
+        parts = ex.lowering.partition(
+            100, ex.planner.batch_records(), placements["Ta"]
+        )
         covered = sorted(
             r for segs in parts for bs, be in segs for r in range(bs, be)
         )
@@ -210,7 +213,9 @@ class TestExecutor:
                   "Tb": Table(TB, 64, seed=2)}
         placements = allocate_placements(scheme, tables)
         ex = QueryExecutor(scheme, config, tables, placements)
-        parts = ex._partition(1024, placements["Ta"])
+        parts = ex.lowering.partition(
+            1024, ex.planner.batch_records(), placements["Ta"]
+        )
         # chunk boundaries respect the vertical group (64 records)
         starts = [segs[0][0] for segs in parts if segs]
         assert all(s % 64 == 0 for s in starts)
@@ -221,7 +226,7 @@ class TestExecutor:
                   "Tb": Table(TB, 64, seed=2)}
         placements = allocate_placements(scheme, tables)
         ex = QueryExecutor(scheme, SystemConfig(), tables, placements)
-        mask = ex._selected(tables["Ta"], Predicate.where(10, ">", 0.25))
+        mask = selected_mask(tables["Ta"], Predicate.where(10, ">", 0.25))
         assert abs(mask.mean() - 0.25) < 0.03
 
     def test_compute_costs_scale_with_selectivity(self):

@@ -124,6 +124,82 @@ class TestErrors:
             parse("SELECT f1 FROM Ta WHERE f2 > 'abc'")
 
 
+class TestErrorPositions:
+    """Every rejection names the character offset of the offender."""
+
+    def _error(self, statement: str) -> SQLError:
+        with pytest.raises(SQLError) as info:
+            parse(statement)
+        return info.value
+
+    def test_malformed_token_position(self):
+        statement = "SELECT f1 FROM Ta WHERE f2 # 5"
+        err = self._error(statement)
+        assert err.pos == statement.index("#")
+        assert f"at position {err.pos}" in str(err)
+
+    def test_unterminated_string_literal(self):
+        statement = "SELECT 'oops FROM Ta"
+        err = self._error(statement)
+        assert "unterminated string literal" in str(err)
+        assert err.pos == statement.index("'")
+
+    def test_string_literal_is_tokenized_but_rejected(self):
+        statement = "SELECT f1 FROM Ta WHERE f2 > 'abc'"
+        err = self._error(statement)
+        assert err.pos == statement.index("'abc'")
+        assert "at position" in str(err)
+
+    def test_unknown_leading_keyword(self):
+        err = self._error("SELEKT f1 FROM Ta")
+        assert "must start with SELECT" in str(err)
+        assert err.pos == 0
+
+    def test_trailing_junk_position(self):
+        statement = "SELECT f1 FROM Ta WHERE f2 > 5 garbage"
+        err = self._error(statement)
+        assert "trailing tokens" in str(err)
+        assert err.pos == statement.index("garbage")
+
+    def test_truncated_statement_points_at_the_end(self):
+        statement = "SELECT f1 FROM Ta LIMIT"
+        err = self._error(statement)
+        assert err.pos == len(statement)
+
+    def test_update_assignment_value_position(self):
+        statement = "UPDATE Ta SET f3 = 'x' WHERE f10 = 1"
+        err = self._error(statement)
+        assert err.pos == statement.index("'x'")
+
+
+class TestExplainRoundTrip:
+    """parse -> plan -> EXPLAIN works for every statement family."""
+
+    STATEMENTS = {
+        "project": "SELECT f3, f4 FROM Ta WHERE f10 > 7500",
+        "select-star": "SELECT * FROM Tb WHERE f10 > 9900",
+        "aggregate": "SELECT SUM(f9) FROM Ta WHERE f10 > 7500",
+        "update": "UPDATE Tb SET f3 = 7 WHERE f10 = 100",
+        "insert": "INSERT INTO Ta VALUES 64",
+        "join": "SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f9 = Tb.f9",
+    }
+
+    @pytest.mark.parametrize("family", sorted(STATEMENTS))
+    def test_family_round_trips(self, family):
+        from repro.harness.workload import make_tables
+        from repro.imdb.planner import plan_for
+
+        query = parse(self.STATEMENTS[family], name=f"rt-{family}")
+        tables = make_tables(128, 256)
+        plan = plan_for("SAM-en", query, tables)
+        text = plan.explain()
+        assert text.startswith("PhysicalPlan")
+        assert f"rt-{family}" in text
+        payload = plan.to_dict()
+        assert payload["query"] == f"rt-{family}"
+        assert payload["mode"] in ("row", "column")
+
+
 class TestEndToEnd:
     def test_parsed_query_runs(self):
         from repro.harness.workload import make_tables

@@ -9,13 +9,21 @@ Commands mirror the paper's artefacts:
 * ``query``       -- run one SQL statement on a chosen design
   (``--explain`` prints the physical plan instead of simulating);
 * ``explain``     -- show the planner's operator tree for a statement;
+* ``trace``       -- ``trace report`` runs one statement with the
+  cycle-level timeline recorder attached and prints per-bank
+  utilization / row-hit-rate tables plus the stall breakdown;
+* ``bench``       -- host-performance baseline over a pinned kernel
+  set (``--compare BENCH_x.json`` gates regressions for CI);
 * ``schemes``     -- list the available designs.
 
 Every figure/table command also speaks JSON (``--json``) and can drop
 its payload into an artifacts directory (``--artifacts DIR``); ``query``
 additionally offers ``--stats`` (metrics registry dump), ``--profile``
-(phase-span flamegraph) and ``--trace`` (command-level trace summary,
-exported as JSONL when combined with ``--artifacts``).
+(phase-span flamegraph), ``--trace`` (command-level trace summary,
+exported as JSONL when combined with ``--artifacts``), ``--stalls``
+(cycle-accounting stall attribution) and ``--timeline`` (timeline
+recording; Chrome trace-event export with ``--artifacts``).  Sweep
+commands accept ``--timeline`` to record every simulated point.
 """
 
 from __future__ import annotations
@@ -56,6 +64,12 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
                         help="attach the repro.check protocol checker and "
                              "plan oracle to every simulated point (a "
                              "violation aborts the sweep)")
+    parser.add_argument("--timeline", action="store_true",
+                        help="record a cycle-level timeline for every "
+                             "simulated point (cached points are still "
+                             "hits: the flag is not part of the cache "
+                             "key); Chrome trace-event exports land in "
+                             "--artifacts when set")
 
 
 def _make_engine(args):
@@ -68,7 +82,9 @@ def _make_engine(args):
             getattr(args, "cache_dir", None) or default_cache_dir()
         )
     return SweepEngine(jobs=getattr(args, "jobs", 1), cache=cache,
-                       check=getattr(args, "check", False))
+                       check=getattr(args, "check", False),
+                       timeline=getattr(args, "timeline", False),
+                       timeline_dir=getattr(args, "artifacts", None))
 
 
 def _finish_sweep(args, name: str, engine) -> None:
@@ -263,7 +279,8 @@ def _cmd_query(args) -> int:
         print(json.dumps(out, indent=2, sort_keys=True) if args.json
               else out)
         return 0
-    observe = Observation(trace=args.trace, artifacts_dir=args.artifacts)
+    observe = Observation(trace=args.trace, timeline=args.timeline,
+                          artifacts_dir=args.artifacts)
     result = run_query(args.scheme, query, tables,
                        gather_factor=args.gather, observe=observe,
                        check=args.check)
@@ -297,12 +314,77 @@ def _cmd_query(args) -> int:
     if args.trace and not args.json:
         print()
         print(observe.tracer.report(result.cycles))
+    if args.stalls and not args.json:
+        from .obs import render_stall_report
+
+        print()
+        print("stall attribution (cycles):")
+        print(render_stall_report(result.stalls["per_core"]))
+    if args.timeline and not args.json:
+        print()
+        print(observe.timeline_recorder.report())
     if observe.manifest_path is not None:
         print(f"wrote {observe.manifest_path}", file=sys.stderr)
     if args.baseline and args.scheme != "baseline":
         tables = make_tables(args.ta, args.tb)
         base = run_query("baseline", query, tables)
         print(f"speedup  : {base.cycles / result.cycles:.2f}x over baseline")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .harness.bench import (
+        compare_bench,
+        load_bench,
+        render_bench,
+        run_bench,
+        write_bench,
+    )
+
+    payload = run_bench(args.label, n_ta=args.ta, n_tb=args.tb,
+                        repeats=args.repeats)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_bench(payload))
+    path = write_bench(payload, args.out)
+    print(f"wrote {path}", file=sys.stderr)
+    if args.compare:
+        baseline = load_bench(args.compare)
+        regressions, notes = compare_bench(
+            payload, baseline, threshold=args.threshold
+        )
+        for note in notes:
+            print(f"note: {note}", file=sys.stderr)
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION: {regression}", file=sys.stderr)
+            return 1
+        print(
+            f"ok: within {args.threshold:.1f}x of "
+            f"{baseline['label']} ({args.compare})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    from .harness.workload import make_tables
+    from .imdb.sql import parse
+    from .obs import Observation, render_stall_report
+    from .sim.runner import run_query
+
+    query = parse(args.sql, name="cli")
+    tables = make_tables(args.ta, args.tb)
+    observe = Observation(timeline=True, artifacts_dir=args.artifacts)
+    result = run_query(args.scheme, query, tables,
+                       gather_factor=args.gather, observe=observe)
+    print(observe.timeline_recorder.report())
+    print()
+    print("stall attribution (cycles):")
+    print(render_stall_report(result.stalls["per_core"]))
+    if observe.manifest_path is not None:
+        print(f"wrote {observe.manifest_path}", file=sys.stderr)
     return 0
 
 
@@ -502,9 +584,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the physical plan (operator tree with "
                         "access modes, footprints and cost estimates) "
                         "instead of simulating")
+    p.add_argument("--stalls", action="store_true",
+                   help="print the cycle-accounting stall attribution "
+                        "(per-core busy / stall-reason breakdown)")
+    p.add_argument("--timeline", action="store_true",
+                   help="attach the timeline recorder (per-bank report; "
+                        "Chrome trace-event export with --artifacts)")
     _add_size_args(p)
     _add_output_args(p)
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "trace", help="cycle-level timeline tooling")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    t = trace_sub.add_parser(
+        "report", help="run one statement with the timeline recorder and "
+                       "print per-bank utilization, row-hit-rate and "
+                       "stall-attribution tables")
+    t.add_argument("sql", help="e.g. 'SELECT SUM(f9) FROM Ta WHERE "
+                               "f10 > 7500'")
+    t.add_argument("--scheme", default="SAM-en")
+    t.add_argument("--gather", type=int, default=None,
+                   help="gather factor (2/4/8)")
+    _add_size_args(t)
+    t.add_argument("--artifacts", metavar="DIR", default=None,
+                   help="also write the run manifest, Chrome trace-event "
+                        "JSON and timeline JSONL into DIR")
+    t.set_defaults(func=_cmd_trace_report)
+
+    p = sub.add_parser(
+        "bench", help="host-performance baseline over a pinned kernel set")
+    p.add_argument("--label", default="local",
+                   help="payload label; the output file is "
+                        "BENCH_<label>.json")
+    p.add_argument("--out", metavar="DIR", default=".",
+                   help="directory for BENCH_<label>.json (default: cwd)")
+    p.add_argument("--repeats", type=int, default=2,
+                   help="runs per kernel; the fastest wall time counts")
+    p.add_argument("--compare", metavar="FILE", default=None,
+                   help="compare against a stored bench payload instead "
+                        "of writing one; exits non-zero on a wall-time "
+                        "regression beyond --threshold")
+    p.add_argument("--threshold", type=float, default=2.0,
+                   help="wall-time regression gate for --compare "
+                        "(default: 2.0x)")
+    _add_size_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit the bench payload as JSON")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "explain", help="show the physical query plan without running it")

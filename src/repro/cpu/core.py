@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..kernel import Kernel
+from ..obs.stalls import MEM_WAIT, QUEUE_FULL
 from .ops import Compute, GatherLoad, GatherStore, Load, MemOp, Store
 
 
@@ -52,6 +53,10 @@ class Core:
         self._ready_time = 0.0  # local issue clock, in memory cycles
         self._done = False
         self._advance_scheduled = False
+        #: optional obs.stalls.CoreStallLog; when attached, every cycle
+        #: between run() and the last completion lands in exactly one
+        #: busy/blocked interval (the stall attributor relies on that)
+        self.stall_log = None
         # Statistics
         self.loads = 0
         self.stores = 0
@@ -100,10 +105,11 @@ class Core:
         self._advance_scheduled = False
         now = self.kernel.now
         self._ready_time = max(self._ready_time, float(now))
-        cfg = self.config
+        if self.stall_log is not None:
+            self.stall_log.close_block(now)
         while self._pc < len(self._ops):
             if self._ready_time > now:
-                self._schedule_advance(math.ceil(self._ready_time))
+                self._catch_up(now)
                 return
             op = self._ops[self._pc]
             if isinstance(op, Compute):
@@ -112,30 +118,53 @@ class Core:
                 continue
             if isinstance(op, Load):
                 if not self._do_load(op):
+                    self._note_blocked(now)
                     return
                 continue
             if isinstance(op, GatherLoad):
                 if not self._do_gather_load(op):
+                    self._note_blocked(now)
                     return
                 continue
             if isinstance(op, Store):
                 if not self._do_store(op):
+                    self._note_blocked(now)
                     return
                 continue
             if isinstance(op, GatherStore):
                 if not self._do_gather_store(op):
+                    self._note_blocked(now)
                     return
                 continue
             raise TypeError(f"unknown op {op!r}")
         if self._ready_time > now:
             # trailing compute: the core is busy until its local clock
             # catches up, so the run must not end before then
-            self._schedule_advance(math.ceil(self._ready_time))
+            self._catch_up(now)
             return
         self._done = True
         if self._inflight == 0:
             self.finish_cycle = now
+        elif self.stall_log is not None:
+            # op stream exhausted, misses still draining
+            self.stall_log.open_block(now, MEM_WAIT)
         self.system.core_may_be_done(self)
+
+    def _catch_up(self, now: int) -> None:
+        """Sleep until the fractional issue clock catches up; that whole
+        window is busy time (issue bandwidth / compute)."""
+        wake = math.ceil(self._ready_time)
+        if self.stall_log is not None:
+            self.stall_log.note_busy(now, wake)
+        self._schedule_advance(wake)
+
+    def _note_blocked(self, now: int) -> None:
+        """A handler made no progress.  Only ``_retry_later`` schedules an
+        advance from inside a handler, so a pending schedule distinguishes
+        queue backpressure from an exhausted-MLP wait."""
+        if self.stall_log is not None:
+            reason = QUEUE_FULL if self._advance_scheduled else MEM_WAIT
+            self.stall_log.open_block(now, reason)
 
     # --------------------------------------------------------- op handlers
 

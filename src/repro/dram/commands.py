@@ -100,6 +100,10 @@ class Request:
     early_restart: bool = False
     subrank: Optional[int] = None
     on_complete: Optional[Callable[["Request", int], None]] = None
+    #: id of the core that demanded this request (None for cache
+    #: writebacks and other requests no core is waiting on); used for
+    #: queue-full diagnostics and timeline lanes
+    source_core: Optional[int] = None
     # Bookkeeping (filled by the controller)
     req_id: int = field(default_factory=lambda: next(_request_ids))
     arrival: int = -1

@@ -21,11 +21,44 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..kernel import Kernel
+from ..obs.stalls import (
+    CCD_BUS,
+    MODE_SWITCH,
+    REFRESH,
+    TFAW,
+    TRAS,
+    TRCD,
+    TRP,
+    WRITE_DRAIN,
+)
 from .bank import FOREVER
 from .channel import ChannelState
 from .commands import Command, IOMode, Request, RequestType
 from .geometry import Geometry
 from .timing import TimingParams
+
+
+class QueueFullError(RuntimeError):
+    """A request was submitted to a full controller queue.
+
+    Callers are expected to consult :meth:`MemoryController.can_accept`
+    first, so reaching this is a flow-control bug; the structured fields
+    (and the ``controller.queue_full_rejects`` metric) exist so that bug
+    is diagnosable instead of a bare string.
+    """
+
+    def __init__(self, kind: str, capacity: int, core: Optional[int],
+                 cycle: int) -> None:
+        who = f"core {core}" if core is not None else "an uncored requester"
+        super().__init__(
+            f"memory controller {kind} queue full "
+            f"(capacity {capacity}) rejecting a request from {who} "
+            f"at cycle {cycle}"
+        )
+        self.kind = kind
+        self.capacity = capacity
+        self.core = core
+        self.cycle = cycle
 
 
 @dataclass
@@ -101,6 +134,16 @@ class MemoryController:
         #: optional obs.metrics.Histogram observing completed-read latency
         #: in cycles (one observe per RD command when attached)
         self.latency_hist = None
+        #: optional obs.timeline.TimelineRecorder; sees the same command
+        #: stream as ``checker`` (refresh-path PREs, REF with the rank
+        #: spelled out, implicit closed-page precharges)
+        self.timeline = None
+        #: optional obs.stalls.StallLedger; every scheduling wait is
+        #: annotated with the timing constraint that caused it
+        self.stall_ledger = None
+        #: optional obs.metrics.MetricsRegistry for controller-side
+        #: counters (queue_full_rejects)
+        self.metrics = None
         self.read_queue: List[Request] = []
         self.write_queue: List[Request] = []
         self.stats = CommandStats()
@@ -115,10 +158,20 @@ class MemoryController:
     # ------------------------------------------------------------------ API
 
     def submit(self, request: Request) -> None:
-        """Accept a request.  Raises if the relevant queue is full; callers
-        should consult :meth:`can_accept` first."""
+        """Accept a request.  Raises :class:`QueueFullError` if the relevant
+        queue is full; callers should consult :meth:`can_accept` first."""
         if not self.can_accept(request):
-            raise RuntimeError("memory controller queue full")
+            kind = "read" if request.is_read else "write"
+            capacity = (
+                self.config.read_queue_capacity
+                if request.is_read
+                else self.config.write_queue_capacity
+            )
+            if self.metrics is not None:
+                self.metrics.counter("controller.queue_full_rejects").inc()
+            raise QueueFullError(
+                kind, capacity, request.source_core, self.kernel.now
+            )
         request.arrival = self.kernel.now
         if request.is_read:
             self.read_queue.append(request)
@@ -167,11 +220,15 @@ class MemoryController:
     def _try_issue(self, now: int) -> Optional[int]:
         """Issue at most one command; return the next wake-up time."""
         if self.channel.next_command > now:
+            self._note_wait(now, self.channel.next_command, CCD_BUS)
             return self.channel.next_command
 
         rank_id = self._refresh_due(now)
         if rank_id is not None:
-            return self._issue_refresh_step(now, rank_id)
+            wake = self._issue_refresh_step(now, rank_id)
+            if wake is not None:
+                self._note_wait(now, wake, REFRESH)
+            return wake
 
         queue = self._active_queue()
         if queue is None:
@@ -180,11 +237,23 @@ class MemoryController:
         choice = self._frfcfs_choose(now, queue)
         if choice is None:
             return self._next_refresh_deadline()
-        request, command, earliest = choice
+        request, command, earliest, reason = choice
+        if queue is self.write_queue and self.read_queue:
+            # reads are parked behind the drain, whatever the write's own
+            # binding constraint is
+            reason = WRITE_DRAIN
         if earliest > now:
-            return min(earliest, self._next_refresh_deadline() or FOREVER)
+            wake = min(earliest, self._next_refresh_deadline() or FOREVER)
+            self._note_wait(now, wake, reason)
+            return wake
+        if queue is self.write_queue and self.read_queue:
+            self._note_wait(now, now + 1, WRITE_DRAIN)
         self._issue(now, request, command, queue)
         return now + 1 if (self.read_queue or self.write_queue) else None
+
+    def _note_wait(self, start: int, end: int, reason: str) -> None:
+        if self.stall_ledger is not None:
+            self.stall_ledger.note(start, end, reason)
 
     def _next_refresh_deadline(self) -> Optional[int]:
         if not self.config.refresh_enabled or self.timing.tREFI <= 0:
@@ -212,14 +281,14 @@ class MemoryController:
 
     def _frfcfs_choose(
         self, now: int, queue: List[Request]
-    ) -> Optional[Tuple[Request, Command, int]]:
+    ) -> Optional[Tuple[Request, Command, int, str]]:
         """FR-FCFS: first ready row-hit column command, else oldest ready
         command; if nothing is ready now, the soonest candidate."""
-        ready_cas: Optional[Tuple[Request, Command, int]] = None
-        ready_other: Optional[Tuple[Request, Command, int]] = None
-        future: Optional[Tuple[Request, Command, int]] = None
+        ready_cas: Optional[Tuple[Request, Command, int, str]] = None
+        ready_other: Optional[Tuple[Request, Command, int, str]] = None
+        future: Optional[Tuple[Request, Command, int, str]] = None
         for index, request in enumerate(queue):
-            command, earliest = self._next_command(now, request)
+            command, earliest, reason = self._next_command(now, request)
             if command is Command.MRS and index > 0:
                 # Only the oldest request may flip the rank's I/O mode;
                 # otherwise requests needing different modes thrash MRS
@@ -233,19 +302,32 @@ class MemoryController:
                     # tCCD_L, so prefer it over the oldest ready CAS.
                     group = (request.addr.rank, request.addr.bank_group)
                     if group != self._last_cas_group:
-                        return (request, command, earliest)
+                        return (request, command, earliest, reason)
                     if ready_cas is None:
-                        ready_cas = (request, command, earliest)
+                        ready_cas = (request, command, earliest, reason)
                 elif ready_other is None:
-                    ready_other = (request, command, earliest)
+                    ready_other = (request, command, earliest, reason)
             elif future is None or earliest < future[2]:
-                future = (request, command, earliest)
+                future = (request, command, earliest, reason)
         if ready_cas is not None:
             return ready_cas
         return ready_other if ready_other is not None else future
 
-    def _next_command(self, now: int, request: Request) -> Tuple[Command, int]:
-        """The next command ``request`` needs and its earliest issue time."""
+    @staticmethod
+    def _binding(*terms: Tuple[int, str]) -> Tuple[int, str]:
+        """Max over ``(time, reason)`` terms; ties keep the earlier term,
+        so list the more specific timing reasons first."""
+        best_time, best_reason = terms[0]
+        for time, reason in terms[1:]:
+            if time > best_time:
+                best_time, best_reason = time, reason
+        return best_time, best_reason
+
+    def _next_command(
+        self, now: int, request: Request
+    ) -> Tuple[Command, int, str]:
+        """The next command ``request`` needs, its earliest issue time, and
+        the stall-taxonomy tag of the binding timing constraint."""
         rank = self.channel.ranks[request.addr.rank]
         bank = rank.banks[request.addr.bank]
         bus_floor = max(now, self.channel.next_command)
@@ -260,7 +342,7 @@ class MemoryController:
                 rank.next_write,
                 self.channel.data_free,
             )
-            return (Command.MRS, earliest)
+            return (Command.MRS, earliest, MODE_SWITCH)
 
         needed = request.row_id()
         if bank.open_row == needed:
@@ -268,30 +350,65 @@ class MemoryController:
             req_type = (
                 RequestType.READ if request.is_read else RequestType.WRITE
             )
-            earliest = max(
-                bus_floor,
-                bank.earliest(cmd),
-                rank.earliest_cas(cmd),
-                self.channel.earliest_cas_for_bus(
-                    cmd, request.addr.rank, req_type, request.subrank
+            bank_gate = bank.earliest(cmd)
+            rank_gate = rank.earliest_cas(cmd)
+            if rank_gate == rank.busy_until:
+                rank_tag = REFRESH
+            elif rank_gate == rank.next_act_any:
+                rank_tag = MODE_SWITCH  # tMOD_IO stalls CAS and ACT alike
+            else:
+                rank_tag = WRITE_DRAIN  # tWTR write-to-read turnaround
+            earliest, reason = self._binding(
+                (
+                    bank_gate,
+                    # the bank CAS gate is tRCD right after an ACT,
+                    # tCCD column-path spacing otherwise
+                    TRCD
+                    if bank_gate <= bank.last_act + self.timing.tRCD
+                    else CCD_BUS,
                 ),
+                (rank_gate, rank_tag),
+                (
+                    self.channel.earliest_cas_for_bus(
+                        cmd, request.addr.rank, req_type, request.subrank
+                    ),
+                    CCD_BUS,
+                ),
+                (bus_floor, CCD_BUS),
             )
-            return (cmd, earliest)
+            return (cmd, earliest, reason)
         if bank.open_row is None:
             cmd = (
                 Command.ACT
                 if needed[0].value == "row"
                 else Command.ACT_COL
             )
-            earliest = max(
-                bus_floor,
-                bank.earliest(Command.ACT),
-                rank.earliest_act(now, request.addr.bank_group),
+            bank_gate = bank.earliest(Command.ACT)
+            act_gate = rank.earliest_act(now, request.addr.bank_group)
+            if act_gate == rank.busy_until:
+                act_tag = REFRESH
+            elif act_gate == rank.next_act_any:
+                act_tag = MODE_SWITCH
+            else:
+                act_tag = TFAW  # tFAW window or tRRD spacing
+            earliest, reason = self._binding(
+                (
+                    bank_gate,
+                    # post-refresh the bank ACT gate is the tRFC blackout,
+                    # post-precharge it is tRP
+                    REFRESH if rank.busy_until >= bank_gate else TRP,
+                ),
+                (act_gate, act_tag),
+                (bus_floor, CCD_BUS),
             )
-            return (cmd, earliest)
+            return (cmd, earliest, reason)
         # row conflict: precharge first
-        earliest = max(bus_floor, bank.earliest(Command.PRE), rank.busy_until)
-        return (Command.PRE, earliest)
+        earliest, reason = self._binding(
+            (bank.earliest(Command.PRE), TRAS),
+            (rank.busy_until, REFRESH),
+            (bus_floor, CCD_BUS),
+        )
+        return (Command.PRE, earliest, reason)
 
     # ------------------------------------------------------------- issuing
 
@@ -305,6 +422,8 @@ class MemoryController:
             self.observer(now, command, request)
         if self.checker is not None:
             self.checker.on_command(now, command, request)
+        if self.timeline is not None:
+            self.timeline.on_command(now, command, request)
 
         if command is Command.MRS:
             rank.issue_mode_switch(now, request.io_mode)
@@ -345,6 +464,9 @@ class MemoryController:
             if self.checker is not None:
                 self.checker.on_command(pre_at, Command.PRE, request,
                                         implicit=True)
+            if self.timeline is not None:
+                self.timeline.on_command(pre_at, Command.PRE, request,
+                                         implicit=True)
             bank.issue_pre(pre_at)
             self.stats.precharges += 1
         self._account_cas(request, command)
@@ -400,6 +522,9 @@ class MemoryController:
                     if self.checker is not None:
                         self.checker.on_command(now, Command.PRE, None,
                                                 rank=rank_id, bank=bank_id)
+                    if self.timeline is not None:
+                        self.timeline.on_command(now, Command.PRE, None,
+                                                 rank=rank_id, bank=bank_id)
                     bank.issue_pre(now)
                     self.stats.precharges += 1
                     return now + 1
@@ -410,6 +535,8 @@ class MemoryController:
             self.observer(now, Command.REF, None)
         if self.checker is not None:
             self.checker.on_command(now, Command.REF, None, rank=rank_id)
+        if self.timeline is not None:
+            self.timeline.on_command(now, Command.REF, None, rank=rank_id)
         rank.issue_refresh(now)
         self.stats.refreshes += 1
         self._next_refresh[rank_id] += self.timing.tREFI

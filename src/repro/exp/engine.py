@@ -44,7 +44,12 @@ Key = Tuple[str, ...]
 def _execute_query(point: SweepPoint) -> object:
     from ..sim.runner import run_query
 
-    return run_query(
+    observe = None
+    if point.timeline:
+        from ..obs import Observation
+
+        observe = Observation(timeline=True)
+    result = run_query(
         point.scheme,
         point.query,
         build_tables(point.tables),
@@ -53,7 +58,16 @@ def _execute_query(point: SweepPoint) -> object:
         timing=point.timing,
         max_events=point.max_events,
         check=point.check,
+        observe=observe,
     )
+    if observe is not None and point.timeline_dir:
+        from ..obs.artifacts import ArtifactWriter, _slug
+
+        ArtifactWriter(point.timeline_dir).write_timeline(
+            observe.timeline_recorder,
+            f"point-{_slug('-'.join(point.key))}",
+        )
+    return result
 
 
 def _execute_reliability(point: SweepPoint) -> object:
@@ -174,6 +188,8 @@ class SweepEngine:
         registry: Optional[MetricsRegistry] = None,
         profiler: Optional[SpanProfiler] = None,
         check: bool = False,
+        timeline: bool = False,
+        timeline_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -182,6 +198,8 @@ class SweepEngine:
         self.registry = registry or MetricsRegistry()
         self.profiler = profiler or SpanProfiler()
         self.check = check
+        self.timeline = timeline
+        self.timeline_dir = timeline_dir
         self.history: List[SweepRun] = []
 
     # ---------------------------------------------------------------- runs
@@ -198,6 +216,17 @@ class SweepEngine:
             points = tuple(
                 dataclasses.replace(p, check=True)
                 if p.kind == "query" and not p.check else p
+                for p in points
+            )
+        if self.timeline:
+            # timeline recording is observability-only (excluded from the
+            # cache digest): cached points stay hits and simply come back
+            # without timeline data
+            points = tuple(
+                dataclasses.replace(
+                    p, timeline=True, timeline_dir=self.timeline_dir
+                )
+                if p.kind == "query" and not p.timeline else p
                 for p in points
             )
         payloads: List[Optional[object]] = [None] * len(points)

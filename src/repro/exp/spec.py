@@ -94,6 +94,15 @@ class SweepPoint:
     #: (strict: a violation aborts the sweep); part of the cache digest,
     #: so checked and unchecked payloads never alias
     check: bool = False
+    #: record a cycle-level timeline for this point (observability only:
+    #: excluded from the cache digest, so flipping it neither invalidates
+    #: cached results nor forks new cache entries -- a warm hit may
+    #: therefore come back without ``timeline.*`` metrics; use
+    #: ``--no-cache`` to force a recorded run)
+    timeline: bool = False
+    #: directory for the point's Chrome trace-event export (None keeps
+    #: the timeline in metrics digests only); excluded from the digest
+    timeline_dir: Optional[str] = None
     params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:

@@ -9,8 +9,12 @@ One :class:`Observation` bundles everything a run can record:
 * an always-on ring buffer of the last issued DRAM commands (stall
   forensics), optionally upgraded to a full
   :class:`~repro.sim.trace.CommandTracer`,
-* an optional artifacts directory where the run manifest (and trace)
-  are written as JSON / JSONL.
+* an always-on :class:`~repro.obs.stalls.StallAttributor` accounting
+  every core cycle to busy / a stall-taxonomy reason,
+* an optional :class:`~repro.obs.timeline.TimelineRecorder` capturing
+  the full command/row/bus/refresh timeline for Perfetto export,
+* an optional artifacts directory where the run manifest (and trace /
+  timeline exports) are written as JSON / JSONL.
 
 ``run_query(..., observe=Observation(...))`` threads the bundle through
 the stack; calling ``run_query`` with no observation still gets default
@@ -38,6 +42,17 @@ from .diagnostics import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import Span, SpanProfiler
+from .stalls import (
+    STALL_REASONS,
+    StallAttributor,
+    merge_breakdown,
+    render_stall_report,
+)
+from .timeline import (
+    TIMELINE_SCHEMA_VERSION,
+    TimelineRecorder,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "ArtifactWriter",
@@ -48,14 +63,21 @@ __all__ = [
     "MetricsRegistry",
     "Observation",
     "RECENT_EVENTS",
+    "STALL_REASONS",
     "SimulationStallError",
     "Span",
     "SpanProfiler",
+    "StallAttributor",
     "StallReport",
+    "TIMELINE_SCHEMA_VERSION",
+    "TimelineRecorder",
     "build_run_manifest",
     "build_stall_report",
     "git_describe",
+    "merge_breakdown",
+    "render_stall_report",
     "to_jsonable",
+    "validate_chrome_trace",
 ]
 
 
@@ -68,6 +90,7 @@ class Observation:
         keep_trace_events: bool = True,
         artifacts_dir: "Optional[str | Path]" = None,
         ring_size: int = RECENT_EVENTS,
+        timeline: bool = False,
     ) -> None:
         self.registry = MetricsRegistry()
         self.profiler = SpanProfiler()
@@ -75,6 +98,13 @@ class Observation:
         self.trace = trace
         self.keep_trace_events = keep_trace_events
         self.tracer = None  # set by the runner when trace=True
+        #: request a TimelineRecorder (the runner attaches it); off by
+        #: default so the controller's guarded hooks stay no-ops
+        self.timeline = timeline
+        self.timeline_recorder = None  # set by the runner when timeline=True
+        #: always-on cycle accounting: controller waits + per-core
+        #: busy/blocked intervals -> the per-run stall breakdown
+        self.stalls = StallAttributor()
         self.artifacts_dir = artifacts_dir
         #: last-N issued commands, always on, for stall forensics
         self.ring: "deque[Tuple[int, str, int, int, int]]" = deque(

@@ -10,6 +10,14 @@ scraping ASCII tables.
 The serializer is deliberately forgiving: dataclasses, enums, mappings,
 sequences and objects exposing ``to_dict``/``payload`` all become plain
 JSON; anything else falls back to ``repr`` rather than raising mid-run.
+
+Manifest schema history:
+
+* v1 -- initial layout (scheme/query identity, config, metrics, spans,
+  ``created_unix`` wall-clock).
+* v2 -- added ``created``, the same instant as ``created_unix`` rendered
+  as an ISO-8601 UTC timestamp, so humans and log pipelines need no
+  epoch conversion.
 """
 
 from __future__ import annotations
@@ -25,9 +33,11 @@ from typing import TYPE_CHECKING, Mapping, Optional
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.results import RunResult
     from ..sim.trace import CommandTracer
+    from .timeline import TimelineRecorder
 
-#: bump when the manifest layout changes incompatibly
-MANIFEST_SCHEMA_VERSION = 1
+#: bump when the manifest layout changes incompatibly.
+#: v2: ``created`` (ISO-8601 UTC) added next to ``created_unix``.
+MANIFEST_SCHEMA_VERSION = 2
 
 _git_describe_cache: dict = {}
 
@@ -51,6 +61,13 @@ def to_jsonable(obj: object) -> object:
         if callable(method):
             return to_jsonable(method())
     return repr(obj)
+
+
+def iso_utc(unix: Optional[float] = None) -> str:
+    """ISO-8601 UTC timestamp (second precision) for ``unix`` / now."""
+    if unix is None:
+        unix = time.time()
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(unix))
 
 
 def git_describe(root: Optional[Path] = None) -> Optional[str]:
@@ -82,12 +99,14 @@ def build_run_manifest(result: "RunResult",
     """The JSON payload describing one ``run_query`` outcome."""
     spans = result.spans
     wall_s = spans.wall_s if spans is not None else None
+    created_unix = time.time()
     manifest = {
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "kind": "run",
         "scheme": result.scheme,
         "query": result.query,
-        "created_unix": time.time(),
+        "created_unix": created_unix,
+        "created": iso_utc(created_unix),
         "git": git_describe(),
         "wall_s": wall_s,
         "cycles": result.cycles,
@@ -127,18 +146,34 @@ class ArtifactWriter:
 
     def write_run(self, result: "RunResult",
                   tracer: "Optional[CommandTracer]" = None,
+                  timeline: "Optional[TimelineRecorder]" = None,
                   extra: Optional[Mapping] = None) -> Path:
-        """Write the run manifest (and the trace, when one was kept)."""
+        """Write the run manifest (and the trace / timeline exports,
+        when they were recorded)."""
         stem = f"run-{_slug(result.scheme)}-{_slug(result.query)}"
         path = self.write_json(f"{stem}.json", build_run_manifest(
             result, extra=extra
         ))
         if tracer is not None and tracer.events:
             self.write_trace(tracer, f"{stem}.trace.jsonl")
+        if timeline is not None:
+            self.write_timeline(timeline, stem)
         return path
 
     def write_trace(self, tracer: "CommandTracer", name: str) -> Path:
         path = self.directory / name
         tracer.export_jsonl(path)
         self.written.append(path)
+        return path
+
+    def write_timeline(self, timeline: "TimelineRecorder",
+                       stem: str) -> Path:
+        """Write the Chrome trace-event JSON (Perfetto-loadable) plus the
+        per-command JSONL next to it; returns the trace-event path."""
+        path = self.write_json(
+            f"{stem}.timeline.json", timeline.to_chrome_trace()
+        )
+        jsonl = self.directory / f"{stem}.timeline.jsonl"
+        timeline.export_jsonl(jsonl)
+        self.written.append(jsonl)
         return path

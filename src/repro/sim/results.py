@@ -33,6 +33,9 @@ class RunResult:
     metrics: Dict[str, object] = field(default_factory=dict)
     #: root of the phase-span tree recorded during the run
     spans: "Optional[Span]" = None
+    #: stall attribution: {"per_core": {id: {reason: cycles}},
+    #: "merged": {reason: cycles}} (see repro.obs.stalls)
+    stalls: Optional[Dict] = None
     #: the SystemConfig the run used (for the run manifest)
     config: "Optional[SystemConfig]" = None
     #: the physical plan the planner chose for this run

@@ -24,7 +24,12 @@ from ..core.registry import make_scheme
 from ..core.scheme import AccessScheme, Placement, TablePlacement
 from ..cpu.core import Core
 from ..kernel import SimulationError
-from ..obs import Observation, SimulationStallError, build_stall_report
+from ..obs import (
+    Observation,
+    SimulationStallError,
+    build_stall_report,
+    merge_breakdown,
+)
 from ..obs.artifacts import ArtifactWriter
 from ..power.model import PowerModel
 
@@ -82,13 +87,19 @@ def allocate_placements(
     return placements
 
 
-def _attach_observers(system: MemorySystem, obs: Observation) -> None:
+def _attach_observers(
+    system: MemorySystem, obs: Observation, cores: List[Core]
+) -> None:
     """Wire the observation into the controller's hot path."""
     controller = system.controller
     controller.observer = obs.observe_command
     controller.latency_hist = obs.registry.histogram(
         "dram.read_latency_cycles", _LATENCY_BUCKETS
     )
+    controller.metrics = obs.registry
+    controller.stall_ledger = obs.stalls.ledger
+    for core in cores:
+        core.stall_log = obs.stalls.core_log(core.core_id)
     if obs.trace:
         from .trace import CommandTracer
 
@@ -96,6 +107,10 @@ def _attach_observers(system: MemorySystem, obs: Observation) -> None:
         obs.tracer = CommandTracer(
             controller, keep_events=obs.keep_trace_events
         )
+    if obs.timeline:
+        from ..obs.timeline import TimelineRecorder
+
+        obs.timeline_recorder = TimelineRecorder(controller).attach()
 
 
 def _stall(
@@ -193,6 +208,30 @@ def _publish_metrics(
             RuntimeWarning,
             stacklevel=3,
         )
+
+
+def _attribute_stalls(obs: Observation, cores: List[Core]) -> Dict:
+    """Run the stall attributor and publish the breakdown as metrics."""
+    per_core = obs.stalls.attribute(cores)
+    merged = merge_breakdown(per_core)
+    for reason, cyc in sorted(merged.items()):
+        obs.registry.gauge(f"stalls.{reason}").set(cyc)
+    return {"per_core": per_core, "merged": merged}
+
+
+def _finish_timeline(obs: Observation, cycles: int) -> None:
+    """Close the timeline, add the core lanes, publish its digest."""
+    timeline = obs.timeline_recorder
+    if timeline is None:
+        return
+    timeline.finalize(cycles)
+    for core_id, log in sorted(obs.stalls.core_logs.items()):
+        for start, end in log.busy:
+            timeline.add_core_span(core_id, start, end, "busy")
+        for start, end, reason in log.blocks:
+            timeline.add_core_span(core_id, start, end, f"stall:{reason}")
+    for key, value in timeline.digest().items():
+        obs.registry.gauge(f"timeline.{key}").set(value)
 
 
 def _bus_utilization(obs: Observation, busy: int, cycles: int,
@@ -301,7 +340,7 @@ def run_query(
             ]
             for core, ops in zip(cores, output.ops_per_core):
                 core.run(ops)
-        _attach_observers(system, obs)
+        _attach_observers(system, obs, cores)
         with profiler.span("execute") as execute_span:
             try:
                 events += kernel.run(max_events=limit)
@@ -334,6 +373,8 @@ def run_query(
 
     cycles = kernel.now
     _publish_metrics(obs, system, cores, cycles, events, limit, scheme)
+    stalls = _attribute_stalls(obs, cores)
+    _finish_timeline(obs, cycles)
     # Energy is priced off the registry: the published dram.* counters
     # are the single source of truth, not the raw struct.
     power_model = PowerModel(
@@ -366,12 +407,15 @@ def run_query(
         bus_utilization=_bus_utilization(obs, busy, cycles, scheme, query),
         metrics=obs.registry.as_dict(),
         spans=profiler.root,
+        stalls=stalls,
         config=config,
         plan=output.plan,
     )
     if obs.artifacts_dir is not None:
         writer = ArtifactWriter(obs.artifacts_dir)
-        obs.manifest_path = writer.write_run(result, tracer=obs.tracer)
+        obs.manifest_path = writer.write_run(
+            result, tracer=obs.tracer, timeline=obs.timeline_recorder
+        )
     return result
 
 

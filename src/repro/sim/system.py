@@ -137,7 +137,8 @@ class MemorySystem:
         entry.waiters.append(callback)
         self.stats.demand_fetches += 1
         self._submit_plan(
-            requests, lambda: self._finish_fetch(core, line, fill_mask)
+            requests, lambda: self._finish_fetch(core, line, fill_mask),
+            core=core,
         )
         return True
 
@@ -179,6 +180,7 @@ class MemorySystem:
         self._submit_plan(
             plan.requests,
             lambda: self._finish_gather(core, plan, callback),
+            core=core,
         )
         return True
 
@@ -233,7 +235,7 @@ class MemorySystem:
         if not self._can_accept_all(requests):
             return False
         self.stats.streaming_stores += 1
-        self._submit_plan(requests, None)
+        self._submit_plan(requests, None, core=core)
         return True
 
     def issue_gather_store(self, core: int,
@@ -255,7 +257,7 @@ class MemorySystem:
         for line, mask in plan.fills:
             # keep caches coherent: update sectors that are resident
             self.write_hit(core, line, mask)
-        self._submit_plan(plan.requests, None)
+        self._submit_plan(plan.requests, None, core=core)
         return True
 
     # ----------------------------------------------------------- writebacks
@@ -327,7 +329,8 @@ class MemorySystem:
         )
 
     def _submit_plan(self, requests,
-                     callback: Optional[Callable[[], None]]) -> None:
+                     callback: Optional[Callable[[], None]],
+                     core: Optional[int] = None) -> None:
         remaining = len(requests)
 
         def _one_done(_req, _time) -> None:
@@ -341,6 +344,7 @@ class MemorySystem:
 
         for request in requests:
             request.on_complete = _one_done
+            request.source_core = core
             if not request.is_read:
                 self.outstanding_writes += 1
             self.controller.submit(request)

@@ -1,0 +1,105 @@
+"""Tests for the perf-baseline bench harness and its compare gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    BENCH_SCHEMA_VERSION,
+    compare_bench,
+    load_bench,
+    render_bench,
+    run_bench,
+    write_bench,
+)
+
+FAST_KERNELS = (("baseline", "Q3"), ("SAM-en", "Q3"))
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench("test", n_ta=64, n_tb=128, repeats=1,
+                     kernels=FAST_KERNELS)
+
+
+class TestRunBench:
+    def test_payload_shape(self, payload):
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["kind"] == "bench"
+        assert payload["label"] == "test"
+        assert payload["created"].endswith("Z")
+        assert len(payload["kernels"]) == len(FAST_KERNELS)
+        for row in payload["kernels"]:
+            assert row["cycles"] > 0
+            assert row["wall_s"] > 0
+            assert row["cycles_per_sec"] > 0
+            assert row["mem_ops"] > 0
+        assert payload["totals"]["cycles"] == sum(
+            r["cycles"] for r in payload["kernels"]
+        )
+
+    def test_render(self, payload):
+        text = render_bench(payload)
+        assert "baseline/Q3" in text
+        assert "total" in text
+
+
+class TestWriteLoad:
+    def test_roundtrip_creates_directory(self, payload, tmp_path):
+        out = tmp_path / "does" / "not" / "exist"
+        path = write_bench(payload, out)
+        assert path == out / "BENCH_test.json"
+        loaded = load_bench(path)
+        assert loaded["kernels"] == json.loads(
+            json.dumps(payload["kernels"])
+        )
+
+    def test_load_rejects_non_bench(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"kind": "run"}')
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self, payload):
+        regressions, notes = compare_bench(payload, payload)
+        assert regressions == []
+        assert notes == []
+
+    def test_injected_regression_gates(self, payload):
+        baseline = copy.deepcopy(payload)
+        for row in baseline["kernels"]:
+            row["wall_s"] /= 100.0
+        regressions, _notes = compare_bench(payload, baseline,
+                                            threshold=2.0)
+        assert len(regressions) == len(FAST_KERNELS)
+        assert "x > 2.00x" in regressions[0]
+
+    def test_threshold_respected(self, payload):
+        baseline = copy.deepcopy(payload)
+        for row in baseline["kernels"]:
+            row["wall_s"] /= 100.0
+        regressions, _notes = compare_bench(payload, baseline,
+                                            threshold=1000.0)
+        assert regressions == []
+
+    def test_cycle_drift_is_note_not_regression(self, payload):
+        baseline = copy.deepcopy(payload)
+        baseline["kernels"][0]["cycles"] += 1
+        regressions, notes = compare_bench(payload, baseline)
+        assert regressions == []
+        assert any("behavior change" in n for n in notes)
+
+    def test_missing_kernels_noted_both_ways(self, payload):
+        baseline = copy.deepcopy(payload)
+        extra = copy.deepcopy(baseline["kernels"][0])
+        extra["kernel"] = ["column-store", "Q1"]
+        baseline["kernels"].append(extra)
+        current = copy.deepcopy(payload)
+        current["kernels"].append(dict(extra, kernel=["SAM-sub", "Q1"]))
+        regressions, notes = compare_bench(current, baseline)
+        assert regressions == []
+        assert any("no baseline entry" in n for n in notes)
+        assert any("missing from current" in n for n in notes)

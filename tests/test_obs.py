@@ -94,6 +94,49 @@ class TestMetricsRegistry:
     def test_render_empty(self):
         assert MetricsRegistry().render() == "(no metrics)"
 
+    # ---- histogram edge cases
+
+    def test_empty_histogram_mean_and_quantile(self):
+        h = Histogram("h", (10, 20))
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.total == 0
+
+    def test_quantile_out_of_range_raises(self):
+        h = Histogram("h", (10,))
+        h.observe(5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_extremes(self):
+        h = Histogram("h", (10, 20))
+        h.observe(5)
+        h.observe(99)  # overflow bucket maps to last finite bound
+        assert h.quantile(0.0) == 10
+        assert h.quantile(1.0) == 20
+
+    def test_histogram_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_as_dict_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").inc()
+        reg.counter("alpha").inc()
+        reg.gauge("mid").set(1)
+        assert list(reg.as_dict()) == ["alpha", "mid", "zeta"]
+        assert reg.names() == ["alpha", "mid", "zeta"]
+
+    def test_render_rows_follow_sorted_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b.second").inc()
+        reg.counter("a.first").inc()
+        lines = reg.render().splitlines()
+        assert lines[0].startswith("a.first")
+        assert lines[1].startswith("b.second")
+
 
 # ----------------------------------------------------------------- spans
 
@@ -208,6 +251,21 @@ class TestRunArtifacts:
         manifest = json.loads(obs.manifest_path.read_text())
         assert manifest["kind"] == "run"
         assert manifest["metrics"]["sim.cycles"] > 0
+
+    def test_manifest_schema_v2_iso_created(self, tmp_path):
+        import time
+
+        from repro.obs.artifacts import MANIFEST_SCHEMA_VERSION, iso_utc
+
+        obs = Observation(artifacts_dir=tmp_path)
+        run_query("SAM-en", _small_query(), make_tables(128, 128),
+                  observe=obs)
+        manifest = json.loads(obs.manifest_path.read_text())
+        assert MANIFEST_SCHEMA_VERSION >= 2
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+        # ISO-8601 UTC sits next to the epoch float and agrees with it
+        assert manifest["created"] == iso_utc(manifest["created_unix"])
+        time.strptime(manifest["created"], "%Y-%m-%dT%H:%M:%SZ")
 
     def test_artifacts_shortcut_param(self, tmp_path):
         run_query("SAM-en", _small_query(), make_tables(128, 128),

@@ -1,0 +1,199 @@
+"""Tests for the cycle-level timeline recorder, its Chrome trace-event
+export, and the timeline's exclusion from the sweep cache identity."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exp.cache import point_digest
+from repro.exp.spec import SweepPoint, standard_tables
+from repro.harness.workload import make_tables
+from repro.imdb.queries import by_name
+from repro.imdb.sql import parse
+from repro.obs import Observation
+from repro.obs.artifacts import ArtifactWriter
+from repro.obs.timeline import (
+    TIMELINE_SCHEMA_VERSION,
+    TimelineRecorder,
+    validate_chrome_trace,
+)
+from repro.sim.runner import run_query
+
+
+def _query(sql="SELECT SUM(f9) FROM Ta WHERE f10 > 7500"):
+    return parse(sql, name="t")
+
+
+@pytest.fixture(scope="module")
+def timeline_run():
+    obs = Observation(timeline=True)
+    result = run_query("SAM-en", _query(), make_tables(256, 256),
+                       observe=obs)
+    return obs, result
+
+
+# --------------------------------------------------------------- recording
+
+
+class TestRecording:
+    def test_off_by_default(self):
+        obs = Observation()
+        run_query("baseline", _query(), make_tables(128, 128),
+                  observe=obs)
+        assert obs.timeline is False
+        assert obs.timeline_recorder is None
+
+    def test_events_and_spans_recorded(self, timeline_run):
+        obs, result = timeline_run
+        rec = obs.timeline_recorder
+        assert rec is not None
+        assert rec.events, "no command events recorded"
+        assert rec.row_spans, "no row-open spans recorded"
+        # every command event sits inside the run
+        assert all(0 <= cycle <= result.cycles
+                   for cycle, *_rest in rec.events)
+
+    def test_row_open_spans_close(self, timeline_run):
+        obs, _result = timeline_run
+        rec = obs.timeline_recorder
+        for _rank, _bank, start, end, _kind, _row in rec.row_spans:
+            assert start <= end <= rec.end_cycle
+        assert not rec._open_rows, "finalize left rows open"
+
+    def test_bank_table_row_hit_rates(self, timeline_run):
+        obs, _result = timeline_run
+        table = obs.timeline_recorder.bank_table()
+        assert table
+        for row in table:
+            refs = (row["row_hits"] + row["row_misses"]
+                    + row["row_conflicts"])
+            if refs:
+                assert row["hit_rate"] == pytest.approx(
+                    row["row_hits"] / refs
+                )
+            assert 0.0 <= row["open_fraction"] <= 1.0
+
+    def test_timeline_metrics_published(self, timeline_run):
+        _obs, result = timeline_run
+        assert result.metrics["timeline.events"] > 0
+        assert result.metrics["timeline.end_cycle"] == result.cycles
+
+    def test_digest_shape(self, timeline_run):
+        obs, _result = timeline_run
+        digest = obs.timeline_recorder.digest()
+        assert digest["schema_version"] == TIMELINE_SCHEMA_VERSION
+        assert digest["events"] > 0
+
+    def test_report_renders(self, timeline_run):
+        obs, _result = timeline_run
+        text = obs.timeline_recorder.report()
+        assert "timeline:" in text
+        assert "bank" in text
+
+    def test_detach_restores_observer_chain(self):
+        obs = Observation(timeline=True)
+        run_query("baseline", _query(), make_tables(128, 128),
+                  observe=obs)
+        rec = obs.timeline_recorder
+        before = len(rec.events)
+        rec.detach()
+        assert len(rec.events) == before
+
+
+# ------------------------------------------------------------ chrome trace
+
+
+class TestChromeTrace:
+    def test_export_passes_validator(self, timeline_run):
+        obs, _result = timeline_run
+        payload = obs.timeline_recorder.to_chrome_trace()
+        assert validate_chrome_trace(payload) == []
+
+    def test_events_have_required_keys(self, timeline_run):
+        obs, _result = timeline_run
+        payload = obs.timeline_recorder.to_chrome_trace()
+        events = payload["traceEvents"]
+        assert events
+        for event in events:
+            assert {"ph", "pid", "name"} <= set(event)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+        json.dumps(payload)  # fully serializable
+
+    def test_validator_rejects_malformed(self):
+        assert validate_chrome_trace(["not a dict"])
+        assert validate_chrome_trace({"traceEvents": "nope"})
+        bad = {"traceEvents": [{"ph": "X", "pid": 1}]}  # no name/ts/dur
+        assert validate_chrome_trace(bad)
+
+    def test_jsonl_export(self, timeline_run, tmp_path):
+        obs, _result = timeline_run
+        path = obs.timeline_recorder.export_jsonl(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert "cycle" in first
+
+    def test_artifact_writer_exports_both(self, timeline_run, tmp_path):
+        obs, _result = timeline_run
+        writer = ArtifactWriter(tmp_path)
+        writer.write_timeline(obs.timeline_recorder, "smoke")
+        trace = json.loads((tmp_path / "smoke.timeline.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        assert (tmp_path / "smoke.timeline.jsonl").exists()
+
+    def test_run_artifacts_include_timeline(self, tmp_path):
+        obs = Observation(timeline=True, artifacts_dir=tmp_path)
+        run_query("SAM-en", _query(), make_tables(128, 128),
+                  observe=obs)
+        stems = [p.name for p in tmp_path.iterdir()]
+        assert any(n.endswith(".timeline.json") for n in stems)
+        assert any(n.endswith(".timeline.jsonl") for n in stems)
+
+
+# --------------------------------------------------------- cache identity
+
+
+class TestCacheIdentity:
+    def _point(self, **kw):
+        return SweepPoint(
+            key=("SAM-en", "Q3"),
+            scheme="SAM-en",
+            query=by_name()["Q3"],
+            tables=standard_tables(64, 64),
+            **kw,
+        )
+
+    def test_timeline_flags_do_not_change_digest(self):
+        base = self._point()
+        flagged = dataclasses.replace(
+            base, timeline=True, timeline_dir="/tmp/somewhere"
+        )
+        assert point_digest(base, source="s") == \
+            point_digest(flagged, source="s")
+
+    def test_check_flag_still_forks_digest(self):
+        base = self._point()
+        checked = dataclasses.replace(base, check=True)
+        assert point_digest(base, source="s") != \
+            point_digest(checked, source="s")
+
+
+# ------------------------------------------------------- direct unit paths
+
+
+class TestRecorderUnit:
+    def test_queue_depth_samples_on_change(self, timeline_run):
+        obs, _result = timeline_run
+        samples = obs.timeline_recorder.queue_samples
+        assert samples
+        # samples are only taken when a depth changes
+        for prev, cur in zip(samples, samples[1:]):
+            assert prev[1:] != cur[1:]
+
+    def test_bus_busy_cycles_positive(self, timeline_run):
+        obs, result = timeline_run
+        busy = obs.timeline_recorder.bus_busy_cycles()
+        assert busy
+        assert all(0 < v <= result.cycles for v in busy.values())

@@ -133,23 +133,30 @@ class StallLedger:
     moment the controller re-evaluated).
     """
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "_starts")
 
     def __init__(self) -> None:
         self.entries: List[List[object]] = []  # [start, end, reason]
+        #: entry start times, maintained in lockstep with ``entries`` so
+        #: :meth:`overlay` can bisect without rebuilding the index
+        #: (rebuilding made each overlay O(n), i.e. attribution quadratic)
+        self._starts: List[int] = []
 
     def note(self, start: int, end: int, reason: str) -> None:
         if end <= start:
             return
         entries = self.entries
+        starts = self._starts
         while entries and entries[-1][0] >= start:
             entries.pop()
+            starts.pop()
         if entries and entries[-1][1] > start:
             entries[-1][1] = start
         if entries and entries[-1][1] == start and entries[-1][2] == reason:
             entries[-1][1] = end
             return
         entries.append([start, end, reason])
+        starts.append(start)
 
     def overlay(self, start: int, end: int) -> Dict[str, int]:
         """Partition ``[start, end)`` into reason -> cycles.  Gaps (the
@@ -160,8 +167,7 @@ class StallLedger:
             return out
         covered = 0
         entries = self.entries
-        starts = [e[0] for e in entries]
-        i = bisect_right(starts, start) - 1
+        i = bisect_right(self._starts, start) - 1
         if i < 0:
             i = 0
         for entry in entries[i:]:

@@ -28,6 +28,12 @@ class BankState:
     next_write: int = 0
     next_pre: int = 0
     last_act: int = -FOREVER
+    #: invalidation epoch for the controller's readiness index: bumped on
+    #: every mutation of the scheduling-visible state above (open_row and
+    #: the next_*/last_act gates).  Any new timing rule that writes those
+    #: fields outside the issue_* methods must bump this too, or cached
+    #: readiness entries go stale (the scheduler-equivalence test bites).
+    version: int = 0
     # Statistics
     activations: int = 0
     row_hits: int = 0
@@ -55,6 +61,7 @@ class BankState:
 
     def issue_act(self, now: int, row: Tuple[RowKind, int]) -> None:
         t = self.timing
+        self.version += 1
         self.open_row = row
         self.last_act = now
         self.activations += 1
@@ -71,6 +78,7 @@ class BankState:
         occupancy for multi-internal-burst gathers (RC-NVM-bit etc.)."""
         t = self.timing
         tail = extra_internal * t.tCCD_L
+        self.version += 1
         self.next_read = max(self.next_read, now + t.tCCD_L + tail)
         self.next_write = max(self.next_write, now + t.tCCD_L + tail)
         self.next_pre = max(self.next_pre, now + t.tRTP + tail)
@@ -78,6 +86,7 @@ class BankState:
     def issue_write(self, now: int, extra_internal: int = 0) -> None:
         t = self.timing
         tail = extra_internal * t.tCCD_L
+        self.version += 1
         self.next_read = max(self.next_read, now + t.tCCD_L + tail)
         self.next_write = max(self.next_write, now + t.tCCD_L + tail)
         # write recovery: data lands at now+CWL..now+CWL+tBL, then tWR
@@ -85,6 +94,7 @@ class BankState:
 
     def issue_pre(self, now: int) -> None:
         t = self.timing
+        self.version += 1
         self.open_row = None
         self.next_act = max(0, now + t.tRP)
 

@@ -109,6 +109,12 @@ class Request:
     arrival: int = -1
     issue_time: int = -1
     finish_time: int = -1
+    #: controller readiness-index entry: (bank_version, rank_version,
+    #: command, earliest, reason, bus_kind).  Scheduling cache only --
+    #: never part of the request's identity or serialized form.
+    _sched_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_read(self) -> bool:

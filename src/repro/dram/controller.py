@@ -73,6 +73,21 @@ class ControllerConfig:
     #: "open" (Table 2 default) keeps rows open for FR-FCFS row hits;
     #: "closed" auto-precharges after every column command (RDA/WRA).
     page_policy: str = "open"
+    #: cache each queued request's (command, earliest, reason) readiness
+    #: entry and invalidate it with bank/rank version counters instead of
+    #: re-deriving it for every request on every wakeup.  False selects
+    #: the old-style full recompute; command streams are identical either
+    #: way (enforced by the scheduler-equivalence test).
+    readiness_index: bool = True
+
+
+#: how a readiness entry's earliest time combines with the shared-bus
+#: state at lookup time: no bus term (ACT/PRE), the CAS data-bus fit, or
+#: the MRS data-bus drain.  Bus state changes on every issue, so folding
+#: it into the cached entry would defeat the cache.
+_BUS_NONE = 0
+_BUS_CAS = 1
+_BUS_MRS = 2
 
 
 @dataclass
@@ -150,6 +165,11 @@ class MemoryController:
         self._draining_writes = False
         self._wakeup_at: Optional[int] = None
         self._last_cas_group: Optional[Tuple[int, int]] = None
+        # per-wakeup memo of earliest_cas_for_bus results, valid for one
+        # data-bus epoch: queued requests overwhelmingly share their
+        # (command, rank, subrank) bus signature
+        self._bus_memo: dict = {}
+        self._bus_memo_version: int = -1
         self._next_refresh = [
             timing.tREFI * (i + 1) // max(1, self.geometry.ranks)
             for i in range(self.geometry.ranks)
@@ -283,23 +303,85 @@ class MemoryController:
         self, now: int, queue: List[Request]
     ) -> Optional[Tuple[Request, Command, int, str]]:
         """FR-FCFS: first ready row-hit column command, else oldest ready
-        command; if nothing is ready now, the soonest candidate."""
+        command; if nothing is ready now, the soonest candidate.
+
+        With the readiness index (the default) each queued request's
+        (command, earliest, reason) triple is cached on the request and
+        re-derived only when the bank/rank state it reads has moved (the
+        version counters); the shared-bus terms, which move on every
+        issue, are applied at lookup time via a per-epoch memo.  The
+        ``future`` minimum keeps wakeup scheduling exact: the controller
+        still sleeps to the soonest candidate, never past it.
+        """
+        if not self.config.readiness_index:
+            return self._frfcfs_choose_recompute(now, queue)
         ready_cas: Optional[Tuple[Request, Command, int, str]] = None
         ready_other: Optional[Tuple[Request, Command, int, str]] = None
         future: Optional[Tuple[Request, Command, int, str]] = None
+        last_group = self._last_cas_group
+        ranks = self.channel.ranks
         for index, request in enumerate(queue):
-            command, earliest, reason = self._next_command(now, request)
+            rank = ranks[request.addr.rank]
+            bank = rank.banks[request.addr.bank]
+            entry = request._sched_cache
+            if (entry is None or entry[0] != bank.version
+                    or entry[1] != rank.version):
+                entry = (
+                    (bank.version, rank.version)
+                    + self._entry_terms(request, rank, bank)
+                )
+                request._sched_cache = entry
+            command = entry[2]
             if command is Command.MRS and index > 0:
                 # Only the oldest request may flip the rank's I/O mode;
                 # otherwise requests needing different modes thrash MRS
                 # while waiting out tRCD.  Skipped candidates are retried
                 # whenever the oldest request makes progress.
                 continue
+            earliest = entry[3]
+            reason = entry[4]
+            bus_kind = entry[5]
+            if bus_kind == _BUS_CAS:
+                bus_t = self._bus_earliest(command, request)
+                if bus_t > earliest:
+                    earliest, reason = bus_t, CCD_BUS
+            elif bus_kind == _BUS_MRS:
+                data_free = self.channel.data_free
+                if data_free > earliest:
+                    earliest = data_free
             if earliest <= now:
-                if command in (Command.RD, Command.WR):
+                if bus_kind == _BUS_CAS:
                     # Bank-group rotation: a CAS to a different bank group
                     # than the previous one runs at tCCD_S instead of
                     # tCCD_L, so prefer it over the oldest ready CAS.
+                    group = (request.addr.rank, request.addr.bank_group)
+                    if group != last_group:
+                        return (request, command, earliest, reason)
+                    if ready_cas is None:
+                        ready_cas = (request, command, earliest, reason)
+                elif ready_other is None:
+                    ready_other = (request, command, earliest, reason)
+            elif future is None or earliest < future[2]:
+                future = (request, command, earliest, reason)
+        if ready_cas is not None:
+            return ready_cas
+        return ready_other if ready_other is not None else future
+
+    def _frfcfs_choose_recompute(
+        self, now: int, queue: List[Request]
+    ) -> Optional[Tuple[Request, Command, int, str]]:
+        """Old-style scan: re-derive every queued request's next command
+        on every wakeup.  Kept as the behavioral reference the readiness
+        index is tested against."""
+        ready_cas: Optional[Tuple[Request, Command, int, str]] = None
+        ready_other: Optional[Tuple[Request, Command, int, str]] = None
+        future: Optional[Tuple[Request, Command, int, str]] = None
+        for index, request in enumerate(queue):
+            command, earliest, reason = self._next_command(now, request)
+            if command is Command.MRS and index > 0:
+                continue
+            if earliest <= now:
+                if command in (Command.RD, Command.WR):
                     group = (request.addr.rank, request.addr.bank_group)
                     if group != self._last_cas_group:
                         return (request, command, earliest, reason)
@@ -312,6 +394,25 @@ class MemoryController:
         if ready_cas is not None:
             return ready_cas
         return ready_other if ready_other is not None else future
+
+    def _bus_earliest(self, cmd: Command, request: Request) -> int:
+        """Memoized ``earliest_cas_for_bus``: valid for one data-bus
+        epoch, keyed on the request's bus signature."""
+        chan = self.channel
+        if self._bus_memo_version != chan.data_version:
+            self._bus_memo.clear()
+            self._bus_memo_version = chan.data_version
+        key = (cmd, request.addr.rank, request.subrank)
+        earliest = self._bus_memo.get(key)
+        if earliest is None:
+            req_type = (
+                RequestType.READ if request.is_read else RequestType.WRITE
+            )
+            earliest = chan.earliest_cas_for_bus(
+                cmd, request.addr.rank, req_type, request.subrank
+            )
+            self._bus_memo[key] = earliest
+        return earliest
 
     @staticmethod
     def _binding(*terms: Tuple[int, str]) -> Tuple[int, str]:
@@ -327,29 +428,48 @@ class MemoryController:
         self, now: int, request: Request
     ) -> Tuple[Command, int, str]:
         """The next command ``request`` needs, its earliest issue time, and
-        the stall-taxonomy tag of the binding timing constraint."""
+        the stall-taxonomy tag of the binding timing constraint (full
+        recompute: stateful terms + the shared-bus terms)."""
         rank = self.channel.ranks[request.addr.rank]
         bank = rank.banks[request.addr.bank]
+        command, earliest, reason, bus_kind = self._entry_terms(
+            request, rank, bank
+        )
         bus_floor = max(now, self.channel.next_command)
-
-        if rank.ensure_mode(request.io_mode):
+        if bus_kind == _BUS_MRS:
             # An MRS can issue once the rank's in-flight CAS work is done
             # and the data bus has drained (the switch flips DQ drivers).
-            earliest = max(
-                bus_floor,
-                rank.busy_until,
-                rank.next_read,
-                rank.next_write,
-                self.channel.data_free,
+            earliest = max(earliest, self.channel.data_free, bus_floor)
+            return (command, earliest, reason)
+        if bus_kind == _BUS_CAS:
+            req_type = (
+                RequestType.READ if request.is_read else RequestType.WRITE
             )
-            return (Command.MRS, earliest, MODE_SWITCH)
+            bus_t = self.channel.earliest_cas_for_bus(
+                command, request.addr.rank, req_type, request.subrank
+            )
+            if bus_t > earliest:
+                earliest, reason = bus_t, CCD_BUS
+        if bus_floor > earliest:
+            earliest, reason = bus_floor, CCD_BUS
+        return (command, earliest, reason)
+
+    def _entry_terms(
+        self, request: Request, rank, bank
+    ) -> Tuple[Command, int, str, int]:
+        """The stateful half of a readiness entry: the next command
+        ``request`` needs, the earliest issue time over the bank/rank
+        constraints, the binding stall tag, and which bus term applies at
+        lookup time.  Everything read here is covered by ``bank.version``
+        and ``rank.version``, so a cached entry stays exact until one of
+        those moves."""
+        if rank.ensure_mode(request.io_mode):
+            earliest = max(rank.busy_until, rank.next_read, rank.next_write)
+            return (Command.MRS, earliest, MODE_SWITCH, _BUS_MRS)
 
         needed = request.row_id()
         if bank.open_row == needed:
             cmd = Command.RD if request.is_read else Command.WR
-            req_type = (
-                RequestType.READ if request.is_read else RequestType.WRITE
-            )
             bank_gate = bank.earliest(cmd)
             rank_gate = rank.earliest_cas(cmd)
             if rank_gate == rank.busy_until:
@@ -368,15 +488,8 @@ class MemoryController:
                     else CCD_BUS,
                 ),
                 (rank_gate, rank_tag),
-                (
-                    self.channel.earliest_cas_for_bus(
-                        cmd, request.addr.rank, req_type, request.subrank
-                    ),
-                    CCD_BUS,
-                ),
-                (bus_floor, CCD_BUS),
             )
-            return (cmd, earliest, reason)
+            return (cmd, earliest, reason, _BUS_CAS)
         if bank.open_row is None:
             cmd = (
                 Command.ACT
@@ -384,7 +497,7 @@ class MemoryController:
                 else Command.ACT_COL
             )
             bank_gate = bank.earliest(Command.ACT)
-            act_gate = rank.earliest_act(now, request.addr.bank_group)
+            act_gate = rank.earliest_act(0, request.addr.bank_group)
             if act_gate == rank.busy_until:
                 act_tag = REFRESH
             elif act_gate == rank.next_act_any:
@@ -399,16 +512,14 @@ class MemoryController:
                     REFRESH if rank.busy_until >= bank_gate else TRP,
                 ),
                 (act_gate, act_tag),
-                (bus_floor, CCD_BUS),
             )
-            return (cmd, earliest, reason)
+            return (cmd, earliest, reason, _BUS_NONE)
         # row conflict: precharge first
         earliest, reason = self._binding(
             (bank.earliest(Command.PRE), TRAS),
             (rank.busy_until, REFRESH),
-            (bus_floor, CCD_BUS),
         )
-        return (Command.PRE, earliest, reason)
+        return (Command.PRE, earliest, reason, _BUS_NONE)
 
     # ------------------------------------------------------------- issuing
 

@@ -30,6 +30,11 @@ class RankState:
     last_act_time: int = -(1 << 30)
     mode_switches: int = 0
     refreshes: int = 0
+    #: invalidation epoch for the controller's readiness index: bumped on
+    #: every mutation of scheduling-visible rank state (io_mode, the
+    #: next_*/busy_until gates, ACT pacing history).  New timing rules
+    #: that write those fields elsewhere must bump this too.
+    version: int = 0
 
     def __post_init__(self) -> None:
         if not self.banks:
@@ -49,6 +54,7 @@ class RankState:
         return earliest
 
     def issue_act(self, now: int, bank_group: int) -> None:
+        self.version += 1
         self.last_act_time = now
         self.last_act_group = bank_group
         self.act_window.append(now)
@@ -67,6 +73,7 @@ class RankState:
     def issue_write(self, now: int) -> None:
         t = self.timing
         # write-to-read turnaround within this rank
+        self.version += 1
         self.next_read = max(self.next_read, now + t.CWL + t.tBL + t.tWTR)
 
     def ensure_mode(self, mode: IOMode) -> bool:
@@ -75,6 +82,7 @@ class RankState:
 
     def issue_mode_switch(self, now: int, mode: IOMode) -> None:
         t = self.timing
+        self.version += 1
         self.io_mode = mode
         self.mode_switches += 1
         stall = now + t.tMOD_IO
@@ -89,7 +97,11 @@ class RankState:
         """Refresh the rank: closes all banks and blacks out tRFC."""
         t = self.timing
         self.refreshes += 1
+        self.version += 1
         for bank in self.banks:
             bank.force_close(now)
+            # next_act is written directly (not via issue_*), so the
+            # bank's readiness epoch must advance here as well
+            bank.version += 1
             bank.next_act = max(bank.next_act, now + t.tRFC)
         self.busy_until = max(self.busy_until, now + t.tRFC)

@@ -184,6 +184,46 @@ class StallLedger:
             out[DRAM_SERVICE] = out.get(DRAM_SERVICE, 0) + gap
         return out
 
+    def overlay_windows(
+        self, windows: List[Tuple[int, int]], out: Dict[str, int]
+    ) -> None:
+        """Accumulate ``overlay`` results for many windows into ``out``.
+
+        ``windows`` must be disjoint and time-ordered (a core's blocked
+        intervals are, by construction), which lets one monotone walk of
+        the ledger serve every window: O(entries + windows) per core
+        instead of a bisect-plus-rescan per window.
+        """
+        entries = self.entries
+        n = len(entries)
+        i = 0
+        total_gap = 0
+        for start, end in windows:
+            if end <= start:
+                continue
+            while i < n and entries[i][1] <= start:
+                i += 1
+            covered = 0
+            j = i
+            while j < n:
+                e_start, e_end, reason = entries[j]
+                if e_start >= end:
+                    break
+                lo = start if e_start < start else e_start
+                hi = end if e_end > end else e_end
+                if hi > lo:
+                    out[reason] = out.get(reason, 0) + (hi - lo)
+                    covered += hi - lo
+                if e_end > end:
+                    # entry straddles this window's end; it may also
+                    # overlap the next window, so leave the cursor on it
+                    break
+                j += 1
+            i = j
+            total_gap += (end - start) - covered
+        if total_gap:
+            out[DRAM_SERVICE] = out.get(DRAM_SERVICE, 0) + total_gap
+
 
 class StallAttributor:
     """One ledger + one log per core; produces the per-core breakdown."""
@@ -212,14 +252,18 @@ class StallAttributor:
             if log is not None:
                 log.close_block(finish)  # a core may end mid-block
                 breakdown[BUSY] = log.busy_cycles
+                mem_windows: List[Tuple[int, int]] = []
                 for start, end, reason in log.blocks:
                     if reason == MEM_WAIT:
-                        for r, c in self.ledger.overlay(start, end).items():
-                            breakdown[r] = breakdown.get(r, 0) + c
+                        mem_windows.append((start, end))
                     else:
                         breakdown[reason] = (
                             breakdown.get(reason, 0) + (end - start)
                         )
+                if mem_windows:
+                    # one monotone sweep of the ledger per core instead
+                    # of a bisect + rescan per blocked interval
+                    self.ledger.overlay_windows(mem_windows, breakdown)
             accounted = sum(breakdown.values())
             if accounted != total:
                 # by-construction this should be zero; surfaced (never

@@ -208,8 +208,17 @@ def _pump(kernel: Kernel, mc: MemoryController,
 
 
 def run_case(case: FuzzCase, registry=None,
-             oracle_data: bool = True) -> CaseResult:
-    """Execute one case with checker + oracles attached (collect mode)."""
+             oracle_data: bool = True,
+             readiness_index: bool = True,
+             on_command=None) -> CaseResult:
+    """Execute one case with checker + oracles attached (collect mode).
+
+    ``readiness_index`` toggles the controller's incremental FR-FCFS
+    readiness index against the full-recompute reference scheduler, and
+    ``on_command`` (``(cycle, command, request)``) observes the issued
+    command stream -- together they let the equivalence tests replay one
+    fuzzed trace through both schedulers and diff the streams.
+    """
     # non-stride schemes reject a gather factor; the case's factor only
     # shapes the generated trace for them
     scheme = make_scheme(
@@ -226,8 +235,11 @@ def run_case(case: FuzzCase, registry=None,
     kernel = Kernel()
     mc = MemoryController(
         kernel, corrupted, geometry,
-        ControllerConfig(refresh_enabled=case.refresh),
+        ControllerConfig(refresh_enabled=case.refresh,
+                         readiness_index=readiness_index),
     )
+    if on_command is not None:
+        mc.observer = on_command
     checker = TimingProtocolChecker(
         truth, geometry, registry=registry, strict=False
     ).attach(mc)

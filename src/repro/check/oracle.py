@@ -414,8 +414,9 @@ class DataOracle(_MismatchCollector):
         codec = ChipAlignedSSC(layout)
         for column, line in zip(columns, lines):
             parity = b"".join(
-                codec.encode_sector(line[16 * s : 16 * (s + 1)])
-                for s in range(4)
+                codec.encode_sectors(
+                    [line[16 * s : 16 * (s + 1)] for s in range(4)]
+                )
             )
             datapath.write_line(bank, row, column, line, parity)
         if faulty_chip is not None and fault_mask:

@@ -336,10 +336,23 @@ def _cmd_bench(args) -> int:
     from .harness.bench import (
         compare_bench,
         load_bench,
+        profile_bench,
         render_bench,
         run_bench,
         write_bench,
     )
+
+    if args.profile:
+        from .obs.artifacts import ArtifactWriter
+
+        payload, text = profile_bench(
+            n_ta=args.ta, n_tb=args.tb, top_n=args.profile_top
+        )
+        print(text, end="")
+        writer = ArtifactWriter(args.out)
+        path = writer.write_json("bench-profile.json", payload)
+        print(f"wrote {path}", file=sys.stderr)
+        return 0
 
     payload = run_bench(args.label, n_ta=args.ta, n_tb=args.tb,
                         repeats=args.repeats)
@@ -352,7 +365,8 @@ def _cmd_bench(args) -> int:
     if args.compare:
         baseline = load_bench(args.compare)
         regressions, notes = compare_bench(
-            payload, baseline, threshold=args.threshold
+            payload, baseline, threshold=args.threshold,
+            strict_cycles=args.strict_cycles,
         )
         for note in notes:
             print(f"note: {note}", file=sys.stderr)
@@ -628,6 +642,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=2.0,
                    help="wall-time regression gate for --compare "
                         "(default: 2.0x)")
+    p.add_argument("--strict-cycles", action="store_true",
+                   help="with --compare, treat any simulated-cycle drift "
+                        "as a regression (ratchet mode for perf refactors "
+                        "that promise identical behavior)")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile one pass over the pinned kernels and "
+                        "write the top-N hot functions to "
+                        "<out>/bench-profile.json instead of timing")
+    p.add_argument("--profile-top", type=int, default=30, metavar="N",
+                   help="rows to keep in the --profile table "
+                        "(default: 30)")
     _add_size_args(p)
     p.add_argument("--json", action="store_true",
                    help="emit the bench payload as JSON")

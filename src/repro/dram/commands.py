@@ -110,11 +110,17 @@ class Request:
     issue_time: int = -1
     finish_time: int = -1
     #: controller readiness-index entry: (bank_version, rank_version,
-    #: command, earliest, reason, bus_kind).  Scheduling cache only --
-    #: never part of the request's identity or serialized form.
+    #: command, earliest, reason, bus_kind, bus_sig, req_type,
+    #: (rank, bank_group)).  Scheduling cache only -- never part of the
+    #: request's identity or serialized form.
     _sched_cache: Optional[tuple] = field(
         default=None, repr=False, compare=False
     )
+    #: direct references to the RankState/BankState this request's fixed
+    #: address decodes to, filled by the controller at submit so the
+    #: scheduler scan skips the ranks[...]/banks[...] indexing
+    _rank: Optional[object] = field(default=None, repr=False, compare=False)
+    _bank: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def is_read(self) -> bool:

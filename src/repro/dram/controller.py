@@ -193,6 +193,9 @@ class MemoryController:
                 kind, capacity, request.source_core, self.kernel.now
             )
         request.arrival = self.kernel.now
+        rank = self.channel.ranks[request.addr.rank]
+        request._rank = rank
+        request._bank = rank.banks[request.addr.bank]
         if request.is_read:
             self.read_queue.append(request)
         else:
@@ -319,20 +322,38 @@ class MemoryController:
         ready_other: Optional[Tuple[Request, Command, int, str]] = None
         future: Optional[Tuple[Request, Command, int, str]] = None
         last_group = self._last_cas_group
-        ranks = self.channel.ranks
+        chan = self.channel
+        if self._bus_memo_version != chan.data_version:
+            self._bus_memo.clear()
+            self._bus_memo_version = chan.data_version
+        memo = self._bus_memo
+        memo_get = memo.get
+        mrs = Command.MRS
         for index, request in enumerate(queue):
-            rank = ranks[request.addr.rank]
-            bank = rank.banks[request.addr.bank]
+            rank = request._rank
+            bank = request._bank
             entry = request._sched_cache
             if (entry is None or entry[0] != bank.version
                     or entry[1] != rank.version):
-                entry = (
-                    (bank.version, rank.version)
-                    + self._entry_terms(request, rank, bank)
-                )
+                terms = self._entry_terms(request, rank, bank)
+                addr = request.addr
+                if terms[3] == _BUS_CAS:
+                    # Pre-resolve the per-epoch memo signature with an int
+                    # flag instead of the Command member: tuple hashing
+                    # would otherwise go through Python-level
+                    # ``Enum.__hash__`` on every lookup.
+                    is_rd = terms[0] is Command.RD
+                    extra = (
+                        (0 if is_rd else 1, addr.rank, request.subrank),
+                        RequestType.READ if is_rd else RequestType.WRITE,
+                        (addr.rank, addr.bank_group),
+                    )
+                else:
+                    extra = (None, None, (addr.rank, addr.bank_group))
+                entry = (bank.version, rank.version) + terms + extra
                 request._sched_cache = entry
             command = entry[2]
-            if command is Command.MRS and index > 0:
+            if command is mrs and index > 0:
                 # Only the oldest request may flip the rank's I/O mode;
                 # otherwise requests needing different modes thrash MRS
                 # while waiting out tRCD.  Skipped candidates are retried
@@ -342,11 +363,16 @@ class MemoryController:
             reason = entry[4]
             bus_kind = entry[5]
             if bus_kind == _BUS_CAS:
-                bus_t = self._bus_earliest(command, request)
+                bus_t = memo_get(entry[6])
+                if bus_t is None:
+                    bus_t = chan.earliest_cas_for_bus(
+                        command, request.addr.rank, entry[7], request.subrank
+                    )
+                    memo[entry[6]] = bus_t
                 if bus_t > earliest:
                     earliest, reason = bus_t, CCD_BUS
             elif bus_kind == _BUS_MRS:
-                data_free = self.channel.data_free
+                data_free = chan.data_free
                 if data_free > earliest:
                     earliest = data_free
             if earliest <= now:
@@ -354,7 +380,7 @@ class MemoryController:
                     # Bank-group rotation: a CAS to a different bank group
                     # than the previous one runs at tCCD_S instead of
                     # tCCD_L, so prefer it over the oldest ready CAS.
-                    group = (request.addr.rank, request.addr.bank_group)
+                    group = entry[8]
                     if group != last_group:
                         return (request, command, earliest, reason)
                     if ready_cas is None:
@@ -394,25 +420,6 @@ class MemoryController:
         if ready_cas is not None:
             return ready_cas
         return ready_other if ready_other is not None else future
-
-    def _bus_earliest(self, cmd: Command, request: Request) -> int:
-        """Memoized ``earliest_cas_for_bus``: valid for one data-bus
-        epoch, keyed on the request's bus signature."""
-        chan = self.channel
-        if self._bus_memo_version != chan.data_version:
-            self._bus_memo.clear()
-            self._bus_memo_version = chan.data_version
-        key = (cmd, request.addr.rank, request.subrank)
-        earliest = self._bus_memo.get(key)
-        if earliest is None:
-            req_type = (
-                RequestType.READ if request.is_read else RequestType.WRITE
-            )
-            earliest = chan.earliest_cas_for_bus(
-                cmd, request.addr.rank, req_type, request.subrank
-            )
-            self._bus_memo[key] = earliest
-        return earliest
 
     @staticmethod
     def _binding(*terms: Tuple[int, str]) -> Tuple[int, str]:
@@ -526,8 +533,8 @@ class MemoryController:
     def _issue(
         self, now: int, request: Request, command: Command, queue: List[Request]
     ) -> None:
-        rank = self.channel.ranks[request.addr.rank]
-        bank = rank.banks[request.addr.bank]
+        rank = request._rank
+        bank = request._bank
         self.channel.occupy_command_bus(now)
         if self.observer is not None:
             self.observer(now, command, request)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .bitmatrix import HAVE_NUMPY, pack_blocks, unpack_blocks
 from .geometry import Geometry
 from .iobuffer import (
     BEATS,
@@ -37,12 +38,15 @@ Layout = str  # "default" | "transposed"
 
 
 # --------------------------------------------------------------------------
-# Generic packers (parameterized by chip count so parity chips reuse them)
+# Generic packers (parameterized by chip count so parity chips reuse them).
+#
+# The public names dispatch to the table-driven bit-matrix engine of
+# :mod:`repro.dram.bitmatrix`; the ``*_scalar`` versions are the original
+# per-bit loops, kept as the reference oracle for the round-trip tests.
 # --------------------------------------------------------------------------
 
-def pack_default(data: bytes, n_chips: int) -> List[int]:
-    """Default layout: data bit ``(4*n_chips)*k + 4i + l`` goes to chip
-    ``i``, lane ``l``, bit ``k``."""
+def pack_default_scalar(data: bytes, n_chips: int) -> List[int]:
+    """Reference implementation of :func:`pack_default`."""
     if len(data) * 8 != n_chips * 32:
         raise ValueError(
             f"{n_chips} chips hold {n_chips * 4} bytes, got {len(data)}"
@@ -60,7 +64,20 @@ def pack_default(data: bytes, n_chips: int) -> List[int]:
     return blocks
 
 
-def unpack_default(blocks: Sequence[int], n_chips: int) -> bytes:
+def pack_default(data: bytes, n_chips: int) -> List[int]:
+    """Default layout: data bit ``(4*n_chips)*k + 4i + l`` goes to chip
+    ``i``, lane ``l``, bit ``k``."""
+    if len(data) * 8 != n_chips * 32:
+        raise ValueError(
+            f"{n_chips} chips hold {n_chips * 4} bytes, got {len(data)}"
+        )
+    if HAVE_NUMPY:
+        return pack_blocks(data, "default", n_chips)
+    return pack_default_scalar(data, n_chips)
+
+
+def unpack_default_scalar(blocks: Sequence[int], n_chips: int) -> bytes:
+    """Reference implementation of :func:`unpack_default`."""
     bits = 0
     per_beat = 4 * n_chips
     for i, block in enumerate(blocks):
@@ -72,9 +89,14 @@ def unpack_default(blocks: Sequence[int], n_chips: int) -> bytes:
     return bits.to_bytes(n_chips * 4, "little")
 
 
-def pack_transposed(data: bytes, n_chips: int) -> List[int]:
-    """Transposed layout: lane ``n`` of chip ``i`` is a symbol of sector
-    ``n``; symbol bit ``k`` is sector bit ``n_chips*k + i``."""
+def unpack_default(blocks: Sequence[int], n_chips: int) -> bytes:
+    if HAVE_NUMPY:
+        return unpack_blocks(blocks, "default", n_chips)
+    return unpack_default_scalar(blocks, n_chips)
+
+
+def pack_transposed_scalar(data: bytes, n_chips: int) -> List[int]:
+    """Reference implementation of :func:`pack_transposed`."""
     if len(data) * 8 != n_chips * 32:
         raise ValueError(
             f"{n_chips} chips hold {n_chips * 4} bytes, got {len(data)}"
@@ -93,7 +115,20 @@ def pack_transposed(data: bytes, n_chips: int) -> List[int]:
     return blocks
 
 
-def unpack_transposed(blocks: Sequence[int], n_chips: int) -> bytes:
+def pack_transposed(data: bytes, n_chips: int) -> List[int]:
+    """Transposed layout: lane ``n`` of chip ``i`` is a symbol of sector
+    ``n``; symbol bit ``k`` is sector bit ``n_chips*k + i``."""
+    if len(data) * 8 != n_chips * 32:
+        raise ValueError(
+            f"{n_chips} chips hold {n_chips * 4} bytes, got {len(data)}"
+        )
+    if HAVE_NUMPY:
+        return pack_blocks(data, "transposed", n_chips)
+    return pack_transposed_scalar(data, n_chips)
+
+
+def unpack_transposed_scalar(blocks: Sequence[int], n_chips: int) -> bytes:
+    """Reference implementation of :func:`unpack_transposed`."""
     bits = 0
     sector_bits = n_chips * 8
     for n in range(LANES):
@@ -103,6 +138,12 @@ def unpack_transposed(blocks: Sequence[int], n_chips: int) -> bytes:
                 if (symbol >> k) & 1:
                     bits |= 1 << (sector_bits * n + n_chips * k + i)
     return bits.to_bytes(n_chips * 4, "little")
+
+
+def unpack_transposed(blocks: Sequence[int], n_chips: int) -> bytes:
+    if HAVE_NUMPY:
+        return unpack_blocks(blocks, "transposed", n_chips)
+    return unpack_transposed_scalar(blocks, n_chips)
 
 
 # --------------------------------------------------------------------------

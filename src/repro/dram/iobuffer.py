@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from .bitmatrix import HAVE_NUMPY, pack_blocks, unpack_blocks
+
 BLOCK_BITS = 32
 LANES = 4
 LANE_BITS = 8
@@ -37,6 +39,19 @@ DATA_CHIPS = 16
 LINE_BYTES = 64
 SECTOR_BYTES = 16
 SECTORS_PER_LINE = LINE_BYTES // SECTOR_BYTES
+
+#: bit-matrix tables for the serializers: ``_SPREAD4[n]`` places the four
+#: bits of nibble ``n`` at bit 0 of each 8-bit lane of a 32-bit word;
+#: ``_COMPRESS4`` is the exact inverse.  One masked shift plus one lookup
+#: replaces the per-lane loop of the scalar serializers.
+_SPREAD4 = tuple(
+    (n & 1)
+    | (((n >> 1) & 1) << 8)
+    | (((n >> 2) & 1) << 16)
+    | (((n >> 3) & 1) << 24)
+    for n in range(16)
+)
+_COMPRESS4 = {v: n for n, v in enumerate(_SPREAD4)}
 
 
 def lane(block: int, l: int) -> int:
@@ -58,11 +73,13 @@ def block_column(block: int, n: int) -> int:
     This is the 8-bit per-chip slice of sector ``n`` under the default
     layout -- what the SAM-en z-direction serializer reads.
     """
-    out = 0
-    for l in range(LANES):
-        pair = (lane(block, l) >> (2 * n)) & 0b11
-        out |= pair << (2 * l)
-    return out
+    if n >= LANES:
+        return 0  # the pair shifts out of every 8-bit lane
+    # each lane's pair sits at bits {8l+2n, 8l+2n+1}; mask, then fold the
+    # four pairs down to bits {2l, 2l+1} (2n <= 6, so pairs never straddle
+    # lane boundaries and the folds cannot collide inside the 0xFF mask)
+    x = (block >> (2 * n)) & 0x03030303
+    return (x | (x >> 6) | (x >> 12) | (x >> 18)) & 0xFF
 
 
 # --------------------------------------------------------------------------
@@ -79,11 +96,8 @@ def _bits_to_line(bits: int) -> bytes:
     return bits.to_bytes(LINE_BYTES, "little")
 
 
-def pack_line_default(line: bytes) -> List[int]:
-    """Distribute a 64B line over 16 chips in the default layout.
-
-    Line bit ``64k + 4i + l`` becomes chip ``i``, lane ``l``, bit ``k``.
-    """
+def pack_line_default_scalar(line: bytes) -> List[int]:
+    """Reference implementation of :func:`pack_line_default`."""
     bits = _line_bits(line)
     blocks = [0] * DATA_CHIPS
     for k in range(BEATS):
@@ -96,8 +110,22 @@ def pack_line_default(line: bytes) -> List[int]:
     return blocks
 
 
-def unpack_line_default(blocks: Sequence[int]) -> bytes:
-    """Inverse of :func:`pack_line_default`."""
+def pack_line_default(line: bytes) -> List[int]:
+    """Distribute a 64B line over 16 chips in the default layout.
+
+    Line bit ``64k + 4i + l`` becomes chip ``i``, lane ``l``, bit ``k``.
+    """
+    if HAVE_NUMPY:
+        if len(line) != LINE_BYTES:
+            raise ValueError(
+                f"a cacheline is {LINE_BYTES} bytes, got {len(line)}"
+            )
+        return pack_blocks(line, "default", DATA_CHIPS)
+    return pack_line_default_scalar(line)
+
+
+def unpack_line_default_scalar(blocks: Sequence[int]) -> bytes:
+    """Reference implementation of :func:`unpack_line_default`."""
     if len(blocks) != DATA_CHIPS:
         raise ValueError(f"need {DATA_CHIPS} blocks, got {len(blocks)}")
     bits = 0
@@ -110,13 +138,17 @@ def unpack_line_default(blocks: Sequence[int]) -> bytes:
     return _bits_to_line(bits)
 
 
-def pack_line_transposed(line: bytes) -> List[int]:
-    """Distribute a 64B line in SAM-IO's transposed layout (Figure 4(c)).
+def unpack_line_default(blocks: Sequence[int]) -> bytes:
+    """Inverse of :func:`pack_line_default`."""
+    if len(blocks) != DATA_CHIPS:
+        raise ValueError(f"need {DATA_CHIPS} blocks, got {len(blocks)}")
+    if HAVE_NUMPY:
+        return unpack_blocks(blocks, "default", DATA_CHIPS)
+    return unpack_line_default_scalar(blocks)
 
-    Lane ``n`` of chip ``i`` holds an 8-bit symbol of sector ``n``: symbol
-    bit ``k`` is sector bit ``16k + i``.  One lane is one SSC-variant symbol,
-    so a strided (lane-wise) transfer still moves whole codewords.
-    """
+
+def pack_line_transposed_scalar(line: bytes) -> List[int]:
+    """Reference implementation of :func:`pack_line_transposed`."""
     bits = _line_bits(line)
     blocks = [0] * DATA_CHIPS
     for n in range(SECTORS_PER_LINE):
@@ -130,8 +162,24 @@ def pack_line_transposed(line: bytes) -> List[int]:
     return blocks
 
 
-def unpack_line_transposed(blocks: Sequence[int]) -> bytes:
-    """Inverse of :func:`pack_line_transposed`."""
+def pack_line_transposed(line: bytes) -> List[int]:
+    """Distribute a 64B line in SAM-IO's transposed layout (Figure 4(c)).
+
+    Lane ``n`` of chip ``i`` holds an 8-bit symbol of sector ``n``: symbol
+    bit ``k`` is sector bit ``16k + i``.  One lane is one SSC-variant symbol,
+    so a strided (lane-wise) transfer still moves whole codewords.
+    """
+    if HAVE_NUMPY:
+        if len(line) != LINE_BYTES:
+            raise ValueError(
+                f"a cacheline is {LINE_BYTES} bytes, got {len(line)}"
+            )
+        return pack_blocks(line, "transposed", DATA_CHIPS)
+    return pack_line_transposed_scalar(line)
+
+
+def unpack_line_transposed_scalar(blocks: Sequence[int]) -> bytes:
+    """Reference implementation of :func:`unpack_line_transposed`."""
     if len(blocks) != DATA_CHIPS:
         raise ValueError(f"need {DATA_CHIPS} blocks, got {len(blocks)}")
     bits = 0
@@ -144,12 +192,26 @@ def unpack_line_transposed(blocks: Sequence[int]) -> bytes:
     return _bits_to_line(bits)
 
 
+def unpack_line_transposed(blocks: Sequence[int]) -> bytes:
+    """Inverse of :func:`pack_line_transposed`."""
+    if len(blocks) != DATA_CHIPS:
+        raise ValueError(f"need {DATA_CHIPS} blocks, got {len(blocks)}")
+    if HAVE_NUMPY:
+        return unpack_blocks(blocks, "transposed", DATA_CHIPS)
+    return unpack_line_transposed_scalar(blocks)
+
+
 # --------------------------------------------------------------------------
-# Serialization through the I/O path
+# Serialization through the I/O path.
+#
+# The public serializers are table-driven: gathering "bit k of each lane"
+# is a mask at 0x01010101 followed by a 16-entry compress lookup, and the
+# deserializers spread nibbles back with the inverse table.  The
+# ``*_scalar`` versions keep the original per-lane loops as the oracle.
 # --------------------------------------------------------------------------
 
-def serialize_x4(block: int) -> List[int]:
-    """Regular x4 burst: 8 beats, each a 4-bit value (DQ3..DQ0)."""
+def serialize_x4_scalar(block: int) -> List[int]:
+    """Reference implementation of :func:`serialize_x4`."""
     beats = []
     for k in range(BEATS):
         nibble = 0
@@ -159,8 +221,14 @@ def serialize_x4(block: int) -> List[int]:
     return beats
 
 
-def deserialize_x4(beats: Sequence[int]) -> int:
-    """Reassemble a 32-bit block from 8 beats of 4 bits."""
+def serialize_x4(block: int) -> List[int]:
+    """Regular x4 burst: 8 beats, each a 4-bit value (DQ3..DQ0)."""
+    block &= 0xFFFFFFFF  # lane() reads bits 0..31 only
+    return [_COMPRESS4[(block >> k) & 0x01010101] for k in range(BEATS)]
+
+
+def deserialize_x4_scalar(beats: Sequence[int]) -> int:
+    """Reference implementation of :func:`deserialize_x4`."""
     if len(beats) != BEATS:
         raise ValueError(f"a burst is {BEATS} beats, got {len(beats)}")
     block = 0
@@ -171,9 +239,18 @@ def deserialize_x4(beats: Sequence[int]) -> int:
     return block
 
 
-def serialize_stride(buffers: Sequence[int], n: int) -> List[int]:
-    """Stride mode ``Sx4_n`` (Figure 7): DQ ``j`` carries lane ``n`` of
-    I/O buffer ``j`` (driver ``4j + n``), one bit per beat."""
+def deserialize_x4(beats: Sequence[int]) -> int:
+    """Reassemble a 32-bit block from 8 beats of 4 bits."""
+    if len(beats) != BEATS:
+        raise ValueError(f"a burst is {BEATS} beats, got {len(beats)}")
+    block = 0
+    for k, nibble in enumerate(beats):
+        block |= _SPREAD4[nibble & 0xF] << k
+    return block
+
+
+def serialize_stride_scalar(buffers: Sequence[int], n: int) -> List[int]:
+    """Reference implementation of :func:`serialize_stride`."""
     if len(buffers) != 4:
         raise ValueError("stride mode uses all four I/O buffers")
     beats = []
@@ -186,10 +263,22 @@ def serialize_stride(buffers: Sequence[int], n: int) -> List[int]:
     return beats
 
 
-def serialize_stride_2d(buffers: Sequence[int], n: int) -> List[int]:
-    """SAM-en 2-D buffer access (Figure 8): the z-direction serializers read
-    *column* ``n`` of each buffer, so data stored in the default layout is
-    gathered without transposition."""
+def serialize_stride(buffers: Sequence[int], n: int) -> List[int]:
+    """Stride mode ``Sx4_n`` (Figure 7): DQ ``j`` carries lane ``n`` of
+    I/O buffer ``j`` (driver ``4j + n``), one bit per beat."""
+    if len(buffers) != 4:
+        raise ValueError("stride mode uses all four I/O buffers")
+    word = (
+        lane(buffers[0], n)
+        | (lane(buffers[1], n) << 8)
+        | (lane(buffers[2], n) << 16)
+        | (lane(buffers[3], n) << 24)
+    )
+    return [_COMPRESS4[(word >> k) & 0x01010101] for k in range(BEATS)]
+
+
+def serialize_stride_2d_scalar(buffers: Sequence[int], n: int) -> List[int]:
+    """Reference implementation of :func:`serialize_stride_2d`."""
     if len(buffers) != 4:
         raise ValueError("stride mode uses all four I/O buffers")
     beats = []
@@ -200,6 +289,21 @@ def serialize_stride_2d(buffers: Sequence[int], n: int) -> List[int]:
             nibble |= ((columns[j] >> k) & 1) << j
         beats.append(nibble)
     return beats
+
+
+def serialize_stride_2d(buffers: Sequence[int], n: int) -> List[int]:
+    """SAM-en 2-D buffer access (Figure 8): the z-direction serializers read
+    *column* ``n`` of each buffer, so data stored in the default layout is
+    gathered without transposition."""
+    if len(buffers) != 4:
+        raise ValueError("stride mode uses all four I/O buffers")
+    word = (
+        block_column(buffers[0], n)
+        | (block_column(buffers[1], n) << 8)
+        | (block_column(buffers[2], n) << 16)
+        | (block_column(buffers[3], n) << 24)
+    )
+    return [_COMPRESS4[(word >> k) & 0x01010101] for k in range(BEATS)]
 
 
 def serialize_stride_fine(buffers: Sequence[int], n_pair: int) -> List[int]:

@@ -22,9 +22,15 @@ why the field stays GF(256)).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from .rs import DecodeFailure, DecodeResult, ReedSolomon
+
+try:  # numpy is an accelerator, never a requirement
+    import numpy as np
+except ImportError:  # pragma: no cover - the image ships numpy
+    np = None
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,43 @@ class _RSCodecBase:
                 f"{len(parity)}B"
             )
         return not any(self.rs.syndromes(list(data) + list(parity)))
+
+    # ------------------------------------------------------------- batches
+
+    def encode_many(self, datas: Sequence[bytes]) -> List[bytes]:
+        """Batch :meth:`encode`: one vectorized RS pass over many words."""
+        if np is None or not datas:
+            return [self.encode(d) for d in datas]
+        for d in datas:
+            if len(d) != self.data_chips:
+                raise ValueError(
+                    f"codeword data is {self.data_chips} bytes, got {len(d)}"
+                )
+        arr = np.frombuffer(b"".join(datas), dtype=np.uint8)
+        codewords = self.rs.encode_batch(arr.reshape(-1, self.data_chips))
+        parity = codewords[:, self.data_chips:].astype(np.uint8)
+        return [row.tobytes() for row in parity]
+
+    def check_many(
+        self, datas: Sequence[bytes], paritys: Sequence[bytes]
+    ) -> List[bool]:
+        """Batch :meth:`check` over parallel data/parity sequences."""
+        if np is None or not datas:
+            return [self.check(d, p) for d, p in zip(datas, paritys)]
+        if len(datas) != len(paritys):
+            raise ValueError("data and parity sequences differ in length")
+        words = [
+            d + p for d, p in zip(datas, paritys)
+            if len(d) == self.data_chips and len(p) == self.parity_chips
+        ]
+        if len(words) != len(datas):
+            raise ValueError(
+                f"codeword is {self.data_chips}B data + "
+                f"{self.parity_chips}B parity"
+            )
+        arr = np.frombuffer(b"".join(words), dtype=np.uint8)
+        synd = self.rs.syndromes_batch(arr.reshape(-1, self.n))
+        return [not bool(row.any()) for row in synd]
 
 
 class SSCCodec(_RSCodecBase):
@@ -171,6 +214,59 @@ def sector_chip_symbols(data: bytes, parity: bytes,
     return symbols
 
 
+@lru_cache(maxsize=None)
+def _symbol_bit_index(layout: str):
+    """``(18, 8)`` index matrix: symbol ``s`` bit ``k`` -> bit position in
+    the 144-bit sector codeword (128 data bits, then 16 parity bits).
+
+    This is :func:`sector_chip_symbols` as a fixed bit permutation, so
+    whole batches of sectors reduce to unpack-gather-pack (same engine as
+    :mod:`repro.dram.bitmatrix`)."""
+    idx = np.empty((18, 8), dtype=np.intp)
+    for s in range(18):
+        for k in range(8):
+            if layout == "default":
+                if s < 16:
+                    idx[s, k] = (
+                        4 * s + k if k < 4 else 64 + 4 * s + (k - 4)
+                    )
+                else:
+                    c = s - 16
+                    idx[s, k] = 128 + (
+                        4 * c + k if k < 4 else 8 + 4 * c + (k - 4)
+                    )
+            elif layout == "transposed":
+                idx[s, k] = (
+                    16 * k + s if s < 16 else 128 + 2 * k + (s - 16)
+                )
+            else:
+                raise ValueError(f"unknown layout {layout!r}")
+    idx.setflags(write=False)
+    return idx
+
+
+def _chip_symbols_batch(data_arr, parity_arr, layout: str):
+    """``(batch, 18)`` chip-aligned symbols from ``(batch, 16)`` data and
+    ``(batch, 2)`` parity byte arrays."""
+    raw = np.concatenate([data_arr, parity_arr], axis=1)
+    bits = np.unpackbits(raw, axis=1, bitorder="little")
+    idx = _symbol_bit_index(layout)
+    sym_bits = bits[:, idx.reshape(-1)].reshape(-1, 18, 8)
+    packed = np.packbits(sym_bits, axis=2, bitorder="little")
+    return packed[:, :, 0].astype(np.int64)
+
+
+def _parity_from_symbols_batch(parity_syms, layout: str):
+    """Scatter ``(batch, 2)`` parity symbols back to parity bytes."""
+    bits = np.unpackbits(
+        parity_syms.astype(np.uint8), axis=1, bitorder="little"
+    )
+    fwd = (_symbol_bit_index(layout)[16:] - 128).reshape(-1)
+    out = np.zeros_like(bits)
+    out[:, fwd] = bits
+    return np.packbits(out, axis=1, bitorder="little")
+
+
 def sector_from_chip_symbols(symbols: Sequence[int],
                              layout: str = "default") -> Tuple[bytes, bytes]:
     """Inverse of :func:`sector_chip_symbols`."""
@@ -238,6 +334,42 @@ class ChipAlignedSSC:
             self.rs.syndromes(sector_chip_symbols(data, parity, self.layout))
         )
 
+    # ------------------------------------------------------------- batches
+
+    def encode_sectors(self, datas: Sequence[bytes]) -> List[bytes]:
+        """Batch :meth:`encode_sector`: symbol extraction and RS encoding
+        of many sectors in one vectorized pass."""
+        if np is None or not datas:
+            return [self.encode_sector(d) for d in datas]
+        for d in datas:
+            if len(d) != 16:
+                raise ValueError("a sector is 16 bytes")
+        arr = np.frombuffer(b"".join(datas), dtype=np.uint8).reshape(-1, 16)
+        zeros = np.zeros((arr.shape[0], 2), dtype=np.uint8)
+        symbols = _chip_symbols_batch(arr, zeros, self.layout)[:, :16]
+        codewords = self.rs.encode_batch(symbols)
+        parity = _parity_from_symbols_batch(codewords[:, 16:], self.layout)
+        return [row.tobytes() for row in parity]
+
+    def check_sectors(
+        self, datas: Sequence[bytes], paritys: Sequence[bytes]
+    ) -> List[bool]:
+        """Batch :meth:`check_sector` over parallel sequences."""
+        if np is None or not datas:
+            return [
+                self.check_sector(d, p) for d, p in zip(datas, paritys)
+            ]
+        if len(datas) != len(paritys):
+            raise ValueError("data and parity sequences differ in length")
+        for d, p in zip(datas, paritys):
+            if len(d) != 16 or len(p) != 2:
+                raise ValueError("a sector is 16B of data + 2B of parity")
+        darr = np.frombuffer(b"".join(datas), dtype=np.uint8).reshape(-1, 16)
+        parr = np.frombuffer(b"".join(paritys), dtype=np.uint8).reshape(-1, 2)
+        symbols = _chip_symbols_batch(darr, parr, self.layout)
+        synd = self.rs.syndromes_batch(symbols)
+        return [not bool(row.any()) for row in synd]
+
 
 def codeword_split(line: bytes, codec: _RSCodecBase) -> List[bytes]:
     """Split a 64B line into the per-codeword data chunks of ``codec``."""
@@ -250,7 +382,7 @@ def codeword_split(line: bytes, codec: _RSCodecBase) -> List[bytes]:
 def encode_line(line: bytes, codec: Optional[_RSCodecBase] = None) -> bytes:
     """Chipkill parity for a 64B line: 2B per 16B codeword -> 8B total."""
     codec = codec or SSCCodec()
-    return b"".join(codec.encode(chunk) for chunk in codeword_split(line, codec))
+    return b"".join(codec.encode_many(codeword_split(line, codec)))
 
 
 def decode_line(

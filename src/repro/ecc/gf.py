@@ -9,7 +9,12 @@ small m; :mod:`repro.ecc.rs` builds Reed-Solomon codes on top of it.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List
+from typing import List, Optional, Tuple
+
+try:  # numpy is an accelerator, never a requirement
+    import numpy as np
+except ImportError:  # pragma: no cover - the image ships numpy
+    np = None
 
 #: Primitive polynomials (with the x^m term) for the field sizes we use.
 PRIMITIVE_POLYS = {
@@ -43,6 +48,24 @@ class GF:
         # duplicate so exp[i + (size-1)] works without a modulo
         for i in range(self.size - 1, 2 * self.size):
             self.exp[i] = self.exp[i - (self.size - 1)]
+        self._np_tables: Optional[tuple] = None
+
+    def np_tables(self) -> Optional[Tuple["np.ndarray", "np.ndarray"]]:
+        """``(log, exp)`` as numpy arrays for batch kernels.
+
+        The exp table keeps the doubled length, so ``exp[log[a] + log[b]]``
+        needs no modulo (max index ``2*(size-2) < 2*size``).  Returns None
+        when numpy is unavailable; callers fall back to the scalar ops.
+        """
+        if np is None:
+            return None
+        if self._np_tables is None:
+            log = np.asarray(self.log, dtype=np.int64)
+            exp = np.asarray(self.exp, dtype=np.int64)
+            log.setflags(write=False)
+            exp.setflags(write=False)
+            self._np_tables = (log, exp)
+        return self._np_tables
 
     # ------------------------------------------------------------ basic ops
 

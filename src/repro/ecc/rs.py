@@ -25,6 +25,11 @@ from typing import List, Sequence, Tuple
 
 from .gf import GF, field
 
+try:  # numpy is an accelerator, never a requirement
+    import numpy as np
+except ImportError:  # pragma: no cover - the image ships numpy
+    np = None
+
 
 class DecodeFailure(Exception):
     """The received word is detectably uncorrectable."""
@@ -65,6 +70,7 @@ class ReedSolomon:
         for i in range(1, self.nparity + 1):
             g = gf.poly_mul(g, [gf.alpha_pow(i), 1])
         self.generator = g
+        self._batch_tables = None
 
     @property
     def correctable(self) -> int:
@@ -98,6 +104,82 @@ class ReedSolomon:
         # that codeword = data + parity evaluates consistently in decode.
         parity = list(reversed(remainder))
         return list(data) + parity
+
+    # ------------------------------------------------------- batch kernels
+    #
+    # Systematic RS encoding and syndrome computation are GF(2^m)-linear,
+    # so whole batches of codewords reduce to table lookups: multiply via
+    # the log/antilog tables (the doubled exp table absorbs the modulo),
+    # mask out zero operands, and XOR-reduce.  The scalar ``encode`` /
+    # ``syndromes`` above stay as the reference oracle.
+
+    def _kernels(self):
+        """Lazy batch-kernel tables; None without numpy."""
+        if np is None:
+            return None
+        if self._batch_tables is None:
+            log, exp = self.gf.np_tables()
+            # parity rows of the systematic generator matrix: parity(e_j)
+            # for each unit data vector e_j (encode is linear over GF, so
+            # parity(d) = XOR_j d_j * parity(e_j) symbol-wise)
+            pgen = np.zeros((self.k, self.nparity), dtype=np.int64)
+            for j in range(self.k):
+                unit = [0] * self.k
+                unit[j] = 1
+                pgen[j] = self.encode(unit)[self.k:]
+            # syndrome locator logs: S_i = XOR_j c_j * alpha^(i*(n-1-j))
+            i_idx = np.arange(1, self.nparity + 1, dtype=np.int64)
+            j_exp = (self.n - 1 - np.arange(self.n, dtype=np.int64))
+            loc_log = (i_idx[:, None] * j_exp[None, :]) % (self.gf.size - 1)
+            for arr in (pgen, loc_log):
+                arr.setflags(write=False)
+            self._batch_tables = (log, exp, pgen, log[pgen], loc_log)
+        return self._batch_tables
+
+    def _check_symbols(self, arr, width: int, what: str):
+        if arr.ndim != 2 or arr.shape[1] != width:
+            raise ValueError(
+                f"expected a (batch, {width}) array of {what} symbols, "
+                f"got shape {arr.shape}"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= self.gf.size):
+            raise ValueError(f"symbol out of range for GF(2^{self.m})")
+
+    def encode_batch(self, data):
+        """Systematic encode of a whole ``(batch, k)`` array of symbols.
+
+        Returns a ``(batch, n)`` int64 array (data columns first, parity
+        appended), bit-identical to row-wise :meth:`encode`.  Falls back
+        to a scalar loop (returning a list of codeword lists) when numpy
+        is unavailable.
+        """
+        kern = self._kernels()
+        if kern is None:
+            return [self.encode(list(row)) for row in data]
+        log, exp, pgen, pgen_log, _ = kern
+        arr = np.asarray(data, dtype=np.int64)
+        self._check_symbols(arr, self.k, "data")
+        term = exp[log[arr][:, :, None] + pgen_log[None, :, :]]
+        zero = (arr[:, :, None] == 0) | (pgen[None, :, :] == 0)
+        parity = np.bitwise_xor.reduce(np.where(zero, 0, term), axis=1)
+        return np.concatenate([arr, parity], axis=1)
+
+    def syndromes_batch(self, codewords):
+        """Syndromes of a whole ``(batch, n)`` array of codewords.
+
+        Returns a ``(batch, n - k)`` int64 array matching row-wise
+        :meth:`syndromes`; a row of zeros means a valid codeword.  Falls
+        back to a scalar loop when numpy is unavailable.
+        """
+        kern = self._kernels()
+        if kern is None:
+            return [self.syndromes(list(row)) for row in codewords]
+        log, exp, _, _, loc_log = kern
+        arr = np.asarray(codewords, dtype=np.int64)
+        self._check_symbols(arr, self.n, "codeword")
+        term = exp[log[arr][:, None, :] + loc_log[None, :, :]]
+        zero = arr[:, None, :] == 0
+        return np.bitwise_xor.reduce(np.where(zero, 0, term), axis=2)
 
     # -------------------------------------------------------------- decode
 

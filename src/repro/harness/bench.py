@@ -124,6 +124,59 @@ def run_bench(
     }
 
 
+def profile_bench(
+    n_ta: int = 512,
+    n_tb: int = 1024,
+    kernels: Sequence[Tuple[str, str]] = BENCH_KERNELS,
+    top_n: int = 30,
+) -> Tuple[Dict[str, object], str]:
+    """cProfile one pass over the pinned kernels.
+
+    Returns ``(payload, text)``: the payload is a JSON-able dict with the
+    top-N functions by tottime (for ``ArtifactWriter``), the text is the
+    classic pstats table for the console.  Timing under the profiler is
+    skewed, so this never writes a ``BENCH_*`` payload.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    tables = make_tables(n_ta, n_tb)
+    queries = by_name()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for scheme, query_name in kernels:
+        run_query(scheme, queries[query_name], tables)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("tottime").print_stats(top_n)
+    rows: List[Dict[str, object]] = []
+    for (filename, lineno, func), entry in stats.stats.items():
+        cc, nc, tt, ct = entry[:4]
+        rows.append({
+            "function": func,
+            "file": filename,
+            "line": lineno,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": tt,
+            "cumtime_s": ct,
+        })
+    rows.sort(key=lambda r: r["tottime_s"], reverse=True)
+    created_unix = time.time()
+    payload = {
+        "kind": "bench-profile",
+        "created_unix": created_unix,
+        "created": iso_utc(created_unix),
+        "git": git_describe(),
+        "tables": {"ta": n_ta, "tb": n_tb},
+        "kernels": [list(k) for k in kernels],
+        "top_by_tottime": rows[:top_n],
+    }
+    return payload, stream.getvalue()
+
+
 def write_bench(payload: Dict[str, object],
                 out_dir: "str | Path" = ".") -> Path:
     """Write ``BENCH_<label>.json`` into ``out_dir``."""
@@ -148,12 +201,15 @@ def compare_bench(
     current: Dict[str, object],
     baseline: Dict[str, object],
     threshold: float = DEFAULT_THRESHOLD,
+    strict_cycles: bool = False,
 ) -> Tuple[List[str], List[str]]:
     """Compare two bench payloads.
 
     Returns ``(regressions, notes)``: regressions are wall-time ratios
     beyond ``threshold`` (these should fail CI); notes are non-gating
     observations (cycle drifts = behavior changes, missing kernels).
+    With ``strict_cycles`` a cycle drift *is* a regression -- the ratchet
+    mode for perf refactors that promise identical simulated behavior.
     """
     regressions: List[str] = []
     notes: List[str] = []
@@ -176,11 +232,18 @@ def compare_bench(
                     f"{base_wall:.3f}s ({ratio:.2f}x > {threshold:.2f}x)"
                 )
         if base.get("cycles") != row.get("cycles"):
-            notes.append(
+            drift = (
                 f"{name}: simulated cycles changed "
                 f"{base.get('cycles')} -> {row.get('cycles')} "
-                f"(behavior change, not a perf regression)"
             )
+            if strict_cycles:
+                regressions.append(
+                    drift + "(strict-cycles: drift gates the build)"
+                )
+            else:
+                notes.append(
+                    drift + "(behavior change, not a perf regression)"
+                )
     for key in base_rows:
         notes.append(f"{'/'.join(key)}: kernel missing from current run")
     return regressions, notes

@@ -17,6 +17,7 @@ shrinks any failure to a minimal JSON reproducer (``repro check fuzz``).
 
 from .fuzz import (
     DEFAULT_SCHEMES,
+    SALP_SCHEMES,
     CaseResult,
     FuzzCase,
     FuzzReport,
@@ -45,6 +46,7 @@ from .protocol import (
 
 __all__ = [
     "DEFAULT_SCHEMES",
+    "SALP_SCHEMES",
     "CaseResult",
     "CommandRecord",
     "DataOracle",

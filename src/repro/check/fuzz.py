@@ -43,6 +43,12 @@ DEFAULT_SCHEMES: Tuple[str, ...] = (
     "RC-NVM-wd",
 )
 
+#: the subarray-parallel designs, fuzzed via ``--schemes`` (or the CI
+#: smoke / equivalence tests).  Kept out of DEFAULT_SCHEMES so the
+#: default case stream -- and every seeded reproducer derived from it --
+#: stays byte-stable across the SALP landing.
+SALP_SCHEMES: Tuple[str, ...] = ("salp1", "salp2", "masa", "SAM-en+masa")
+
 _LINE = 64
 #: step budget per case: orders of magnitude above any healthy trace
 #: (the whole 200-case default run issues ~10k commands) but small enough
@@ -237,11 +243,13 @@ def run_case(case: FuzzCase, registry=None,
         kernel, corrupted, geometry,
         ControllerConfig(refresh_enabled=case.refresh,
                          readiness_index=readiness_index),
+        salp=scheme.salp_mode,
     )
     if on_command is not None:
         mc.observer = on_command
     checker = TimingProtocolChecker(
-        truth, geometry, registry=registry, strict=False
+        truth, geometry, registry=registry, strict=False,
+        salp=scheme.salp_mode,
     ).attach(mc)
     validator = PlanValidator(scheme, registry=registry, strict=False)
 

@@ -167,7 +167,7 @@ class PlanValidator(_MismatchCollector):
     """
 
     #: scheme families whose lowering the oracle re-derives
-    _SAM_ROW = ("SAM-IO", "SAM-en")
+    _SAM_ROW = ("SAM-IO", "SAM-en", "SAM-en+masa")
     _GS = ("GS-DRAM", "GS-DRAM-ecc")
     _RC_NVM = {"RC-NVM-wd": 0, "RC-NVM-bit": 3}
     _RC_NVM_GROUP_ROWS = 64

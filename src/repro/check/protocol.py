@@ -110,6 +110,18 @@ class _BankShadow:
     rd_tail: int = 0
     wr_at: int = _NEVER
     wr_tail: int = 0
+    # --- SALP (subarray) extension; unused when salp == "none" ---
+    #: per-subarray shadows (an instance per touched subarray; the
+    #: per-row rules -- tRP/tRCD/tRAS/tRTP/tWR, row-buffer discipline --
+    #: then apply to the subarray and the fields above carry only the
+    #: shared column-path state)
+    subs: Dict[int, "_BankShadow"] = field(default_factory=dict)
+    #: last ACT to *any* subarray of this bank (tRA pacing)
+    bank_act_at: int = _NEVER
+    #: subarray currently driving the global sense amps
+    designated: Optional[int] = None
+    #: last SA_SEL (designation-switch pacing and CAS gating)
+    sa_sel_at: int = _NEVER
 
 
 @dataclass
@@ -146,11 +158,16 @@ class TimingProtocolChecker:
         registry=None,
         strict: bool = True,
         max_violations: int = 256,
+        salp: str = "none",
     ) -> None:
         self.timing = timing
         self.geometry = geometry or Geometry()
         self.registry = registry
         self.strict = strict
+        #: subarray-level-parallelism mode; must match the checked
+        #: controller's.  Under SALP the row rules apply per subarray and
+        #: the tRA / tSA_SEL / capacity / designation rules activate.
+        self.salp = salp
         #: in collect mode, abort anyway once this many violations piled
         #: up -- a corrupted timing table can livelock the controller into
         #: producing violations forever (ACT/PRE thrash when tRAS < tRCD)
@@ -206,6 +223,33 @@ class TimingProtocolChecker:
         if not ok:
             self._violate(rule, cycle, command, rank, bank, message)
 
+    # ----------------------------------------------------------- subarrays
+
+    @property
+    def _capacity(self) -> int:
+        """Concurrently-activated-subarray limit of the SALP mode."""
+        if self.salp == "salp2":
+            return 2
+        if self.salp == "masa":
+            return self.geometry.subarrays_per_bank
+        return 1
+
+    def _sub_id_of(self, row) -> Optional[int]:
+        """Subarray a row-carrying command targets (None outside SALP).
+        Mirrors the controller's deterministic row->subarray fold, so the
+        two derive the same operand independently."""
+        if self.salp == "none" or row is None:
+            return None
+        g = self.geometry
+        return (row[1] // g.rows_per_subarray) % g.subarrays_per_bank
+
+    def _sub_shadow(self, bk: _BankShadow, sub_id: int) -> _BankShadow:
+        sub = bk.subs.get(sub_id)
+        if sub is None:
+            sub = _BankShadow()
+            bk.subs[sub_id] = sub
+        return sub
+
     # ----------------------------------------------------------- observing
 
     def on_command(
@@ -221,6 +265,7 @@ class TimingProtocolChecker:
         io_mode: Optional[IOMode] = None,
         internal_bursts: int = 0,
         implicit: bool = False,
+        subarray: Optional[int] = None,
     ) -> None:
         """Check one issued command.
 
@@ -228,7 +273,9 @@ class TimingProtocolChecker:
         test streams pass ``rank`` / ``bank`` / ``row`` / ... directly.
         ``implicit`` marks the closed-page auto-precharge, which rides on
         its CAS instead of occupying the command bus (and may carry a
-        future timestamp).
+        future timestamp).  ``subarray`` is the PRE operand under SALP
+        (a precharge names the subarray it closes; row-carrying commands
+        imply theirs through the row index).
         """
         if request is not None:
             rank = request.addr.rank
@@ -288,11 +335,13 @@ class TimingProtocolChecker:
             self._on_cas(cycle, command, rank, bank, rk, bk, row,
                          subrank, io_mode, internal_bursts)
         elif command is Command.PRE:
-            self._on_pre(cycle, rank, bank, rk, bk, implicit)
+            self._on_pre(cycle, rank, bank, rk, bk, implicit, subarray)
         elif command is Command.REF:
             self._on_ref(cycle, rank, rk)
         elif command is Command.MRS:
             self._on_mrs(cycle, rank, bank, rk, io_mode)
+        elif command is Command.SA_SEL:
+            self._on_sa_sel(cycle, rank, bank, rk, bk, row)
         else:  # pragma: no cover - future command kinds
             self._violate("unknown-command", cycle, command, rank, bank,
                           f"checker does not model {command}")
@@ -302,6 +351,31 @@ class TimingProtocolChecker:
         if self._controller is None or bk is None:
             return
         actual = self._controller.channel.ranks[rank].banks[bank]
+        if self.salp != "none":
+            shadow_open = {
+                sub_id: sub.open_row
+                for sub_id, sub in bk.subs.items()
+                if sub.open_row is not None
+            }
+            actual_open = {
+                sub_id: actual.subarrays[sub_id].open_row
+                for sub_id in actual.open_subs
+            }
+            if shadow_open != actual_open \
+                    or bk.designated != actual.designated:
+                self._violate(
+                    "shadow-divergence", cycle, command, rank, bank,
+                    f"checker believes open={shadow_open} "
+                    f"designated={bk.designated}, controller bank state "
+                    f"is {actual.snapshot()}",
+                )
+                # resync to avoid cascades
+                for sub_id, sub in bk.subs.items():
+                    sub.open_row = actual_open.get(sub_id)
+                for sub_id, open_row in actual_open.items():
+                    self._sub_shadow(bk, sub_id).open_row = open_row
+                bk.designated = actual.designated
+            return
         if actual.open_row != bk.open_row:
             self._violate(
                 "shadow-divergence", cycle, command, rank, bank,
@@ -318,12 +392,34 @@ class TimingProtocolChecker:
             self._violate("act-without-row", cycle, command, rank, bank,
                           "ACT carries no row")
             return
-        self._require(bk.open_row is None, "act-on-open", cycle, command,
+        sub_id = self._sub_id_of(row)
+        if sub_id is None:
+            target = bk
+        else:
+            # SALP: the row-buffer rules apply to the target subarray;
+            # the bank adds the shared row-logic (tRA) and capacity rules
+            target = self._sub_shadow(bk, sub_id)
+            open_subs = [i for i, s in bk.subs.items()
+                         if s.open_row is not None]
+            self._require(
+                len(open_subs) < self._capacity or sub_id in open_subs,
+                "salp-capacity", cycle, command, rank, bank,
+                f"ACT on subarray {sub_id} with {open_subs} already open "
+                f"({self.salp} allows {self._capacity})",
+            )
+            self._require(
+                cycle >= bk.bank_act_at + t.tRA, "tRA", cycle, command,
+                rank, bank,
+                f"ACT at {cycle} < bank ACT@{bk.bank_act_at} + "
+                f"tRA({t.tRA})",
+            )
+        self._require(target.open_row is None, "act-on-open", cycle,
+                      command, rank, bank,
+                      f"{'subarray ' + str(sub_id) if sub_id is not None else 'bank'} "
+                      f"already has {target.open_row} open")
+        self._require(cycle >= target.pre_at + t.tRP, "tRP", cycle, command,
                       rank, bank,
-                      f"bank already has {bk.open_row} open")
-        self._require(cycle >= bk.pre_at + t.tRP, "tRP", cycle, command,
-                      rank, bank,
-                      f"ACT at {cycle} < PRE@{bk.pre_at} + tRP({t.tRP})")
+                      f"ACT at {cycle} < PRE@{target.pre_at} + tRP({t.tRP})")
         self._require(cycle >= rk.blackout_until, "tRFC", cycle, command,
                       rank, bank,
                       f"ACT at {cycle} inside refresh blackout "
@@ -349,30 +445,49 @@ class TimingProtocolChecker:
                 f"fifth ACT at {cycle} inside the four-activate window "
                 f"opened at {rk.acts[0]} (tFAW={t.tFAW})",
             )
-        bk.open_row = row
-        bk.act_at = cycle
+        target.open_row = row
+        target.act_at = cycle
+        if sub_id is not None:
+            bk.bank_act_at = cycle
+            bk.designated = sub_id  # the newest ACT owns the global SAs
         rk.last_act_at = cycle
         rk.last_act_group = group
         rk.acts.append(cycle)
 
-    def _on_pre(self, cycle, rank, bank, rk, bk, implicit) -> None:
+    def _on_pre(self, cycle, rank, bank, rk, bk, implicit,
+                sub_id=None) -> None:
         t = self.timing
         command = Command.PRE
-        self._require(bk.open_row is not None, "pre-on-closed", cycle,
-                      command, rank, bank, "PRE on an already-closed bank")
-        self._require(cycle >= bk.act_at + t.tRAS, "tRAS", cycle, command,
-                      rank, bank,
-                      f"PRE at {cycle} < ACT@{bk.act_at} + tRAS({t.tRAS})")
+        if self.salp != "none":
+            if sub_id is None:
+                # hand-built streams may omit the operand; a PRE with
+                # exactly one open subarray is still unambiguous
+                open_subs = [i for i, s in bk.subs.items()
+                             if s.open_row is not None]
+                sub_id = open_subs[0] if len(open_subs) == 1 else \
+                    (bk.designated if bk.designated is not None else 0)
+            target = self._sub_shadow(bk, sub_id)
+        else:
+            target = bk
+        self._require(target.open_row is not None, "pre-on-closed", cycle,
+                      command, rank, bank,
+                      "PRE on an already-closed "
+                      + ("subarray " + str(sub_id) if sub_id is not None
+                         else "bank"))
+        self._require(cycle >= target.act_at + t.tRAS, "tRAS", cycle,
+                      command, rank, bank,
+                      f"PRE at {cycle} < ACT@{target.act_at} "
+                      f"+ tRAS({t.tRAS})")
         self._require(
-            cycle >= bk.rd_at + t.tRTP + bk.rd_tail, "tRTP", cycle,
+            cycle >= target.rd_at + t.tRTP + target.rd_tail, "tRTP", cycle,
             command, rank, bank,
-            f"PRE at {cycle} < RD@{bk.rd_at} + tRTP({t.tRTP}) "
-            f"+ tail({bk.rd_tail})",
+            f"PRE at {cycle} < RD@{target.rd_at} + tRTP({t.tRTP}) "
+            f"+ tail({target.rd_tail})",
         )
-        wr_ready = bk.wr_at + t.CWL + t.tBL + t.tWR + bk.wr_tail
+        wr_ready = target.wr_at + t.CWL + t.tBL + t.tWR + target.wr_tail
         self._require(
             cycle >= wr_ready, "tWR", cycle, command, rank, bank,
-            f"PRE at {cycle} < WR@{bk.wr_at} + CWL + tBL + tWR "
+            f"PRE at {cycle} < WR@{target.wr_at} + CWL + tBL + tWR "
             f"(ready {wr_ready})",
         )
         if not implicit:
@@ -380,8 +495,10 @@ class TimingProtocolChecker:
                           command, rank, bank,
                           f"PRE at {cycle} inside refresh blackout "
                           f"(until {rk.blackout_until})")
-        bk.open_row = None
-        bk.pre_at = max(bk.pre_at, cycle)
+        target.open_row = None
+        target.pre_at = max(target.pre_at, cycle)
+        if sub_id is not None and bk.designated == sub_id:
+            bk.designated = None
 
     def _on_ref(self, cycle, rank, rk) -> None:
         t = self.timing
@@ -389,6 +506,7 @@ class TimingProtocolChecker:
         open_banks = [
             i for i, bk in enumerate(self._banks[rank])
             if bk.open_row is not None
+            or any(s.open_row is not None for s in bk.subs.values())
         ]
         self._require(not open_banks, "ref-open-bank", cycle, command,
                       rank, -1,
@@ -399,6 +517,9 @@ class TimingProtocolChecker:
                       f"(until {rk.blackout_until})")
         for bk in self._banks[rank]:
             bk.open_row = None
+            bk.designated = None
+            for sub in bk.subs.values():
+                sub.open_row = None
         rk.blackout_until = max(rk.blackout_until, cycle + t.tRFC)
 
     # --------------------------------------------------------- column rules
@@ -408,17 +529,38 @@ class TimingProtocolChecker:
         t = self.timing
         req_type = (RequestType.READ if command is Command.RD
                     else RequestType.WRITE)
-        if bk.open_row is None:
+        sub_id = self._sub_id_of(row)
+        if sub_id is None:
+            target = bk
+        else:
+            # SALP: the open-row and tRCD rules bind the target subarray;
+            # tCCD spacing binds the bank's shared column path, and the
+            # target must own the global sense amps
+            target = self._sub_shadow(bk, sub_id)
+            self._require(
+                bk.designated == sub_id, "cas-undesignated", cycle,
+                command, rank, bank,
+                f"column command to subarray {sub_id} but subarray "
+                f"{bk.designated} drives the global sense amps",
+            )
+            self._require(
+                cycle >= bk.sa_sel_at + t.tSA_SEL, "tSA_SEL", cycle,
+                command, rank, bank,
+                f"CAS at {cycle} < SA_SEL@{bk.sa_sel_at} + "
+                f"tSA_SEL({t.tSA_SEL})",
+            )
+        if target.open_row is None:
             self._violate("cas-on-closed", cycle, command, rank, bank,
                           "column command with no open row")
-        elif row is not None and bk.open_row != row:
+        elif row is not None and target.open_row != row:
             self._violate(
                 "cas-row-mismatch", cycle, command, rank, bank,
-                f"column command needs {row} but {bk.open_row} is open",
+                f"column command needs {row} but {target.open_row} is open",
             )
-        self._require(cycle >= bk.act_at + t.tRCD, "tRCD", cycle, command,
-                      rank, bank,
-                      f"CAS at {cycle} < ACT@{bk.act_at} + tRCD({t.tRCD})")
+        self._require(cycle >= target.act_at + t.tRCD, "tRCD", cycle,
+                      command, rank, bank,
+                      f"CAS at {cycle} < ACT@{target.act_at} "
+                      f"+ tRCD({t.tRCD})")
         self._require(
             cycle >= bk.cas_at + t.tCCD_L + bk.cas_tail, "tCCD_L", cycle,
             command, rank, bank,
@@ -461,17 +603,48 @@ class TimingProtocolChecker:
         self._check_data_bus(cycle, command, rank, bank, req_type, subrank)
 
         tail = internal_bursts * t.tCCD_L
-        bk.cas_at = cycle
+        bk.cas_at = cycle  # shared column path, whatever the subarray
         bk.cas_tail = tail
         if command is Command.RD:
-            bk.rd_at = cycle
-            bk.rd_tail = tail
+            target.rd_at = cycle
+            target.rd_tail = tail
         else:
-            bk.wr_at = cycle
-            bk.wr_tail = tail
+            target.wr_at = cycle
+            target.wr_tail = tail
             rk.wtr_until = max(rk.wtr_until,
                                cycle + t.CWL + t.tBL + t.tWTR)
         rk.cas_by_chipset[subrank] = cycle
+
+    # --------------------------------------------------------- subarray rules
+
+    def _on_sa_sel(self, cycle, rank, bank, rk, bk, row) -> None:
+        t = self.timing
+        command = Command.SA_SEL
+        self._require(self.salp == "masa", "sa-sel-mode", cycle, command,
+                      rank, bank,
+                      f"SA_SEL only exists under MASA (mode is "
+                      f"{self.salp!r})")
+        if self.salp == "none":
+            return  # no subarray state to update
+        sub_id = self._sub_id_of(row)
+        if sub_id is None:
+            self._violate("sa-sel-without-row", cycle, command, rank, bank,
+                          "SA_SEL carries no row to derive its subarray")
+            return
+        sub = self._sub_shadow(bk, sub_id)
+        self._require(sub.open_row is not None, "sa-sel-on-closed", cycle,
+                      command, rank, bank,
+                      f"SA_SEL designating closed subarray {sub_id}")
+        self._require(cycle >= bk.sa_sel_at + t.tSA_SEL, "tSA_SEL", cycle,
+                      command, rank, bank,
+                      f"SA_SEL at {cycle} < SA_SEL@{bk.sa_sel_at} + "
+                      f"tSA_SEL({t.tSA_SEL})")
+        self._require(cycle >= rk.blackout_until, "tRFC", cycle, command,
+                      rank, bank,
+                      f"SA_SEL at {cycle} inside refresh blackout "
+                      f"(until {rk.blackout_until})")
+        bk.designated = sub_id
+        bk.sa_sel_at = cycle
 
     def _check_data_bus(self, cycle, command, rank, bank, req_type,
                         subrank) -> None:

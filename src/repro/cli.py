@@ -4,6 +4,8 @@ Commands mirror the paper's artefacts:
 
 * ``figure12`` / ``figure13`` / ``figure14a`` / ``figure14b`` /
   ``figure14c`` / ``figure15`` -- regenerate an evaluation figure;
+* ``salp``        -- subarray-level-parallelism interaction sweep
+  (SALP-1/SALP-2/MASA vs SAM-en and the composed SAM-en+masa design);
 * ``table1``      -- the qualitative comparison matrix;
 * ``reliability`` -- the fault-injection matrix;
 * ``query``       -- run one SQL statement on a chosen design
@@ -192,6 +194,21 @@ def _cmd_figure15(args) -> int:
 
     code = _emit(args, "figure15", payload, text)
     _finish_sweep(args, "figure15", engine)
+    return code
+
+
+def _cmd_salp(args) -> int:
+    from .harness.salp import run_salp_sweep
+
+    engine = _make_engine(args)
+    result = run_salp_sweep(
+        n_ta=args.ta, n_tb=args.tb,
+        designs=args.designs or None,
+        queries=args.queries or None,
+        engine=engine,
+    )
+    code = _emit(args, "salp", result.payload(), result.render)
+    _finish_sweep(args, "salp", engine)
     return code
 
 
@@ -537,6 +554,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_args(p)
     _add_sweep_args(p)
     p.set_defaults(func=_cmd_figure15)
+
+    p = sub.add_parser(
+        "salp",
+        help="subarray-level-parallelism interaction sweep",
+    )
+    _add_size_args(p)
+    p.add_argument("--designs", nargs="*", default=None,
+                   help="designs to sweep (default: the SALP family "
+                        "plus SAM-en and SAM-en+masa)")
+    p.add_argument("--queries", nargs="*", default=None,
+                   help="queries to sweep (default: the bank-conflict-"
+                        "heavy Q3/Q7/Q8)")
+    _add_output_args(p)
+    _add_sweep_args(p)
+    p.set_defaults(func=_cmd_salp)
 
     p = sub.add_parser("table1", help="qualitative comparison matrix")
     _add_output_args(p)

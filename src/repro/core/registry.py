@@ -8,6 +8,7 @@ from ..dram.geometry import Geometry
 from .baseline import BaselineScheme, ColumnStoreScheme
 from .gs_dram import GSDRAMEccScheme, GSDRAMScheme
 from .rc_nvm import RCNVMBitScheme, RCNVMWordScheme
+from .salp import MASAScheme, SALP1Scheme, SALP2Scheme, SAMEnMASAScheme
 from .sam import SAMEnScheme, SAMIOScheme, SAMSubScheme
 from .scheme import AccessScheme
 from .subrank import SubRankScheme
@@ -23,11 +24,29 @@ _FACTORIES: Dict[str, Callable[..., AccessScheme]] = {
     "RC-NVM-bit": RCNVMBitScheme,
     "RC-NVM-wd": RCNVMWordScheme,
     "sub-rank": SubRankScheme,
+    "salp1": SALP1Scheme,
+    "salp2": SALP2Scheme,
+    "masa": MASAScheme,
+    "SAM-en+masa": SAMEnMASAScheme,
 }
 
 #: Designs without strided-access hardware: a ``gather_factor`` is
 #: meaningless for them and :func:`make_scheme` rejects non-default ones.
-_NO_STRIDE = frozenset({"baseline", "column-store", "sub-rank"})
+#: (The pure SALP schemes keep the stock interface; SAM-en+masa composes
+#: MASA with SAM-en's stride hardware and stays stride-capable.)
+_NO_STRIDE = frozenset({
+    "baseline", "column-store", "sub-rank", "salp1", "salp2", "masa",
+})
+
+#: The designs of the SALP interaction sweep (``repro salp``): the three
+#: SALP flavours alone, SAM-en alone, and the composed design.
+SALP_DESIGNS = (
+    "salp1",
+    "salp2",
+    "masa",
+    "SAM-en",
+    "SAM-en+masa",
+)
 
 #: The designs plotted in Figure 12, in the paper's legend order.
 FIGURE12_DESIGNS = (

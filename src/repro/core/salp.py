@@ -1,0 +1,126 @@
+"""SALP access schemes: subarray-level parallelism on stock layouts.
+
+Kim et al., "A Case for Exploiting Subarray-Level Parallelism (SALP) in
+DRAM" (ISCA'12) overlap the precharge of one subarray with the
+activation of another inside the same bank.  These schemes keep the
+baseline row-store layout and stock x4 interface -- all the benefit
+comes from the memory controller driving the subarray state machine
+(``salp_mode``), which makes bank conflicts between requests landing in
+*different* subarrays nearly as cheap as bank-level parallelism:
+
+* :class:`SALP1Scheme` -- SALP-1: an ACT to a different subarray needs
+  only the shared row-logic re-arm delay (tRA) instead of waiting out
+  the previous subarray's full tRP.  Requires per-subarray precharge
+  wiring only (~0.15% area).
+* :class:`SALP2Scheme` -- SALP-2: two subarrays activated concurrently,
+  the newer one owning the shared global sense amplifiers; additionally
+  overlaps tRAS/write-recovery with the next activation.
+* :class:`MASAScheme` -- MASA: many activated subarrays with an explicit
+  ``SA_SEL`` designation switch before column commands, exposing full
+  subarray-level bank parallelism.
+* :class:`SAMEnMASAScheme` -- SAM-en's stride hardware composed with a
+  MASA controller: strided (column) traffic uses SAM's mappings while
+  row-wise traffic (and the bank conflicts SAM-en cannot remap away)
+  benefits from subarray overlap.
+
+Area figures follow the paper's Table 6 (fractions of DRAM die area:
+SALP-1 ~0.15%, SALP-2 ~0.25%, MASA ~0.36%); all stay below the 0.5%
+threshold where the model starts scaling array latencies.
+
+The ``salp_row_derate`` values feed the query planner's row-path cost:
+row-wise scans hit serialized row conflicts, which SALP overlaps, so the
+effective per-line cost of a row plan drops (the derates approximate the
+ISCA'12 speedups on conflict-heavy workloads: ~13% SALP-1, ~20% SALP-2,
+~30% MASA).
+"""
+
+from __future__ import annotations
+
+from ..area.overhead import AreaReport
+from .placements import RowMajorPlacement
+from .sam import SAMEnScheme
+from .scheme import AccessScheme, Placement, SchemeTraits, TablePlacement
+
+
+class _SALPBase(AccessScheme):
+    """Shared shape of the pure-SALP schemes: baseline layout and
+    interface, no stride hardware, a modified memory controller."""
+
+    def __init__(self, geometry=None) -> None:
+        super().__init__(geometry, gather_factor=1)
+
+    @property
+    def traits(self) -> SchemeTraits:
+        return SchemeTraits(
+            needs_db_alignment=False,
+            needs_isa_extension=False,
+            needs_sector_cache=False,
+            modifies_memory_controller=True,
+            # MASA's SA_SEL is a new command; SALP-1/2 reuse the stock set
+            modifies_command_interface=self.salp_mode == "masa",
+        )
+
+    def placement(self, table: TablePlacement) -> Placement:
+        return RowMajorPlacement(table, self)
+
+
+class SALP1Scheme(_SALPBase):
+    """SALP-1: overlapped precharge via per-subarray precharge wiring."""
+
+    name = "salp1"
+    salp_mode = "salp1"
+    salp_row_derate = 0.87
+
+    @property
+    def area(self) -> AreaReport:
+        return AreaReport("salp1", 0.0, 0.0015, extra_metal_layers=0)
+
+
+class SALP2Scheme(_SALPBase):
+    """SALP-2: two concurrently activated subarrays (designated latch)."""
+
+    name = "salp2"
+    salp_mode = "salp2"
+    salp_row_derate = 0.80
+
+    @property
+    def area(self) -> AreaReport:
+        return AreaReport("salp2", 0.0, 0.0025, extra_metal_layers=0)
+
+
+class MASAScheme(_SALPBase):
+    """MASA: many activated subarrays, SA_SEL designation switching."""
+
+    name = "masa"
+    salp_mode = "masa"
+    salp_row_derate = 0.70
+
+    @property
+    def area(self) -> AreaReport:
+        return AreaReport("masa", 0.0, 0.0036, extra_metal_layers=0)
+
+
+class SAMEnMASAScheme(SAMEnScheme):
+    """SAM-en's stride mappings on a MASA (subarray-parallel) controller.
+
+    The stride path is exactly SAM-en's; the controller additionally
+    overlaps precharge/activation across subarrays, which helps the
+    row-wise fraction of mixed plans and the bank conflicts between
+    independent queries' regions.  Area adds MASA's subarray wiring on
+    top of SAM-en's stride logic.
+    """
+
+    name = "SAM-en+masa"
+    salp_mode = "masa"
+    salp_row_derate = 0.70
+
+    @property
+    def area(self) -> AreaReport:
+        base = super().area
+        return AreaReport(
+            "SAM-en+masa",
+            base.wiring_fraction,
+            base.logic_fraction + 0.0036,
+            extra_metal_layers=base.extra_metal_layers,
+            storage_fraction=base.storage_fraction,
+        )

@@ -76,6 +76,19 @@ class AccessScheme(abc.ABC):
     #: :meth:`with_timing` (substrate-swap studies), never mutated in place
     timing_override: Optional[str] = None
 
+    #: subarray-level-parallelism mode the memory controller runs in:
+    #: "none" (the default one-open-row banks), "salp1", "salp2" or
+    #: "masa" (Kim et al., ISCA'12).  Orthogonal to the stride mapping,
+    #: so SAM schemes can compose with it (e.g. SAM-en+masa).
+    salp_mode: str = "none"
+
+    #: planner row-path cost multiplier under SALP: overlapped
+    #: precharge/activation makes row-wise plans cheaper per line touched
+    #: (< 1.0 for SALP schemes, exactly 1.0 otherwise -- the planner only
+    #: applies a non-1.0 derate, keeping existing schemes' cost
+    #: arithmetic bit-identical)
+    salp_row_derate: float = 1.0
+
     #: optional gather-plan observer, called as
     #: ``(kind, element_addrs, plan)`` with ``kind`` in {"read", "write"}
     #: once per *admitted* plan (repro.check.PlanValidator hook).  Set it

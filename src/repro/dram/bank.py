@@ -1,27 +1,61 @@
-"""Per-bank timing state machine.
+"""Per-bank timing state machine, generic over subarrays.
 
-Each bank tracks its open row (which may be a row-wise row or, for SAM-sub /
-RC-NVM, a column-wise subarray) and the earliest times the next command of
-each kind may issue.  The constraints are updated as commands issue; the
-controller asks :meth:`earliest` before issuing.
+A bank is N subarrays sharing global structures: the row-address logic
+(one ACT at a time, paced by ``tRA``), the global bitlines / column path
+(CAS spacing), and -- for SALP-2 / MASA -- the notion of a *designated*
+subarray whose local row buffer currently drives the shared global sense
+amplifiers.  :class:`SubarrayState` tracks one subarray's open row and
+local gates; :class:`BankState` owns the subarrays plus the shared gates
+and exposes the scheduling API the controller uses.
+
+Four operating modes (``salp``):
+
+* ``"none"`` -- the degenerate single-subarray configuration: one
+  :class:`SubarrayState` backs the whole bank and the legacy field API
+  (``open_row`` / ``next_*`` / ``last_act`` properties) delegates to it,
+  preserving the original one-open-row semantics exactly.
+* ``"salp1"`` -- SALP-1 (Kim et al., ISCA'12): at most one subarray open,
+  but a precharge only pays its ``tRP`` *locally*; an ACT to a different
+  subarray of the same bank waits only the short shared-logic re-arm
+  delay ``tRA``, overlapping the precharge with the next activation.
+* ``"salp2"`` -- SALP-2: up to two subarrays activated concurrently; the
+  most recently activated one is *designated* (owns the global sense
+  amps) and is the only one column commands may target.
+* ``"masa"`` -- MASA: any number of subarrays activated; an ``SA_SEL``
+  command re-designates which one drives the global bitlines before a
+  column command to a non-designated subarray.
+
+The constraints are updated as commands issue; the controller asks the
+``earliest``-style accessors before issuing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from .commands import Command, RowKind
 from .timing import TimingParams
 
 FOREVER = 1 << 60
 
+#: valid ``salp`` operating modes, in increasing capability order
+SALP_MODES = ("none", "salp1", "salp2", "masa")
+
 
 @dataclass
-class BankState:
-    """Timing state of one bank."""
+class SubarrayState:
+    """Timing state of one subarray: its own open row and local gates.
+
+    In the degenerate ``salp="none"`` configuration one instance backs
+    the whole bank, so these fields carry exactly the legacy bank-level
+    semantics (``next_read``/``next_write`` double as the column-path
+    CAS-spacing gates; under SALP those shared-structure gates live on
+    the :class:`BankState` instead and the local ones only carry tRCD).
+    """
 
     timing: TimingParams
+    sub_id: int = 0
     open_row: Optional[Tuple[RowKind, int]] = None
     next_act: int = 0
     next_read: int = 0
@@ -29,26 +63,17 @@ class BankState:
     next_pre: int = 0
     last_act: int = -FOREVER
     #: invalidation epoch for the controller's readiness index: bumped on
-    #: every mutation of the scheduling-visible state above (open_row and
-    #: the next_*/last_act gates).  Any new timing rule that writes those
-    #: fields outside the issue_* methods must bump this too, or cached
-    #: readiness entries go stale (the scheduler-equivalence test bites).
+    #: every mutation of the scheduling-visible state above.  Any new
+    #: timing rule that writes those fields outside the issue_* methods
+    #: must bump this too, or cached readiness entries go stale (the
+    #: scheduler-equivalence test bites).
     version: int = 0
-    # Statistics
-    activations: int = 0
-    row_hits: int = 0
-    row_misses: int = 0
-    row_conflicts: int = 0
-    # Activity window (first/last activate cycle) for span profiling;
-    # -1 means the bank was never used.
-    first_act_cycle: int = -1
-    last_act_cycle: int = -1
 
     def is_open(self, row: Tuple[RowKind, int]) -> bool:
         return self.open_row == row
 
     def earliest(self, cmd: Command) -> int:
-        """Earliest cycle this bank allows ``cmd`` to issue."""
+        """Earliest cycle this subarray allows ``cmd`` to issue."""
         if cmd in (Command.ACT, Command.ACT_COL):
             return self.next_act
         if cmd is Command.RD:
@@ -57,25 +82,22 @@ class BankState:
             return self.next_write
         if cmd is Command.PRE:
             return self.next_pre
-        raise ValueError(f"bank does not gate {cmd}")
+        raise ValueError(f"subarray does not gate {cmd}")
 
     def issue_act(self, now: int, row: Tuple[RowKind, int]) -> None:
         t = self.timing
         self.version += 1
         self.open_row = row
         self.last_act = now
-        self.activations += 1
-        if self.first_act_cycle < 0:
-            self.first_act_cycle = now
-        self.last_act_cycle = now
         self.next_read = max(self.next_read, now + t.tRCD)
         self.next_write = max(self.next_write, now + t.tRCD)
         self.next_pre = max(self.next_pre, now + t.tRAS)
         self.next_act = FOREVER  # must precharge before the next ACT
 
     def issue_read(self, now: int, extra_internal: int = 0) -> None:
-        """Account a column read; ``extra_internal`` extends the column path
-        occupancy for multi-internal-burst gathers (RC-NVM-bit etc.)."""
+        """Account a column read; ``extra_internal`` extends the column
+        path occupancy for multi-internal-burst gathers (RC-NVM-bit
+        etc.)."""
         t = self.timing
         tail = extra_internal * t.tCCD_L
         self.version += 1
@@ -98,17 +120,333 @@ class BankState:
         self.open_row = None
         self.next_act = max(0, now + t.tRP)
 
+
+class BankState:
+    """Timing state of one bank: N subarrays plus shared-structure gates.
+
+    The legacy single-open-row API (``open_row``, ``next_*``,
+    ``earliest``, ``issue_*`` without a subarray, ``snapshot``) keeps
+    working and is exact in the ``"none"`` mode, where it delegates to
+    the single backing :class:`SubarrayState`.  Subarray states are
+    created lazily (a bank has 256 of them; a run touches a handful).
+
+    Invalidation contract: *every* mutation of scheduling-visible state
+    -- local subarray gates, the shared act/column gates, designation,
+    the open-subarray set -- bumps :attr:`version` (and the affected
+    subarray's own ``version``).  Under SALP one request's readiness
+    depends on *other* subarrays' state (precharge victims, designation),
+    so the bank epoch is the conservative invalidator; the per-subarray
+    epoch additionally keys the cache entry so a stale subarray ref can
+    never alias a fresh bank epoch.
+    """
+
+    __slots__ = (
+        "timing", "salp", "n_subarrays", "rows_per_subarray",
+        "subarrays", "open_subs", "designated",
+        "next_any_act", "next_sa_sel", "col_next_read", "col_next_write",
+        "act_floor", "version",
+        "activations", "row_hits", "row_misses", "row_conflicts",
+        "sa_sels", "first_act_cycle", "last_act_cycle",
+    )
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        salp: str = "none",
+        subarrays_per_bank: int = 1,
+        rows_per_subarray: int = 0,
+    ) -> None:
+        if salp not in SALP_MODES:
+            raise ValueError(
+                f"unknown salp mode {salp!r}; expected one of {SALP_MODES}"
+            )
+        self.timing = timing
+        self.salp = salp
+        self.n_subarrays = 1 if salp == "none" else max(1, subarrays_per_bank)
+        self.rows_per_subarray = rows_per_subarray
+        #: sub_id -> SubarrayState, created on first touch
+        self.subarrays: Dict[int, SubarrayState] = {
+            0: SubarrayState(timing)
+        }
+        #: sub_id -> ACT cycle of the currently open subarrays, in
+        #: activation order (dict preserves insertion order -> the first
+        #: key is the oldest open subarray, the precharge victim)
+        self.open_subs: Dict[int, int] = {}
+        #: subarray owning the global sense amps (SALP-2/MASA); under
+        #: SALP-1 the single open subarray is trivially designated
+        self.designated: Optional[int] = None
+        #: shared row-logic gate: earliest next ACT to *any* subarray
+        #: (tRA pacing); unused in "none" mode, where the single
+        #: subarray's next_act carries the whole story
+        self.next_any_act = 0
+        #: MASA designation-switch pacing
+        self.next_sa_sel = 0
+        #: shared column-path (global bitline / IO) CAS-spacing gates;
+        #: unused in "none" mode
+        self.col_next_read = 0
+        self.col_next_write = 0
+        #: refresh-blackout floor applied to lazily-created subarrays
+        self.act_floor = 0
+        self.version = 0
+        # Statistics (bank-level, mode-independent)
+        self.activations = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.sa_sels = 0
+        # Activity window (first/last activate cycle) for span profiling;
+        # -1 means the bank was never used.
+        self.first_act_cycle = -1
+        self.last_act_cycle = -1
+
+    # ------------------------------------------------------- subarray access
+
+    def sub_id_for(self, row_index: int) -> int:
+        """Subarray holding ``row_index`` (0 in the degenerate mode).
+
+        Synthetic column-row identities (SAM-sub) exceed the physical row
+        range, so the index is folded modulo the subarray count -- the
+        same deterministic mapping the protocol checker applies.
+        """
+        if self.salp == "none":
+            return 0
+        return (row_index // self.rows_per_subarray) % self.n_subarrays
+
+    def sub(self, sub_id: int) -> SubarrayState:
+        """The subarray state for ``sub_id``, created on first touch."""
+        state = self.subarrays.get(sub_id)
+        if state is None:
+            state = SubarrayState(self.timing, sub_id=sub_id,
+                                  next_act=self.act_floor)
+            self.subarrays[sub_id] = state
+        return state
+
+    def sub_for_row(self, row_index: int) -> SubarrayState:
+        return self.sub(self.sub_id_for(row_index))
+
+    @property
+    def open_capacity(self) -> int:
+        """How many subarrays may be activated concurrently."""
+        if self.salp == "salp2":
+            return 2
+        if self.salp == "masa":
+            return self.n_subarrays
+        return 1  # "none" and "salp1"
+
+    def any_open(self) -> bool:
+        if self.salp == "none":
+            return self.subarrays[0].open_row is not None
+        return bool(self.open_subs)
+
+    @property
+    def all_closed(self) -> bool:
+        return not self.any_open()
+
+    def pre_victim(self, sub_id: int) -> Optional[int]:
+        """The open subarray an ACT for (closed) ``sub_id`` must close
+        first, or None when the ACT may go ahead.  The victim is the
+        oldest-activated open subarray (FIFO)."""
+        if len(self.open_subs) < self.open_capacity:
+            return None
+        return next(iter(self.open_subs))
+
+    def pre_candidate(self, now: int) -> Optional[SubarrayState]:
+        """The open subarray closest to being precharge-ready (refresh
+        path); None when the bank is fully precharged."""
+        if self.salp == "none":
+            sub = self.subarrays[0]
+            return sub if sub.open_row is not None else None
+        best: Optional[SubarrayState] = None
+        for sub_id in self.open_subs:
+            sub = self.subarrays[sub_id]
+            if best is None or sub.next_pre < best.next_pre:
+                best = sub
+        return best
+
+    # ------------------------------------------------ legacy (N=1) field API
+
+    @property
+    def open_row(self) -> Optional[Tuple[RowKind, int]]:
+        """The designated subarray's open row (the bank's open row in the
+        degenerate mode).  Diagnostics / shadow-sync accessor; the
+        scheduler reads per-subarray state directly."""
+        if self.salp == "none":
+            return self.subarrays[0].open_row
+        if self.designated is None:
+            return None
+        return self.subarrays[self.designated].open_row
+
+    @property
+    def next_act(self) -> int:
+        if self.salp == "none":
+            return self.subarrays[0].next_act
+        return self.next_any_act
+
+    @property
+    def next_read(self) -> int:
+        if self.salp == "none":
+            return self.subarrays[0].next_read
+        return self.col_next_read
+
+    @property
+    def next_write(self) -> int:
+        if self.salp == "none":
+            return self.subarrays[0].next_write
+        return self.col_next_write
+
+    @property
+    def next_pre(self) -> int:
+        if self.salp == "none":
+            return self.subarrays[0].next_pre
+        sub = self.pre_candidate(0)
+        return 0 if sub is None else sub.next_pre
+
+    @property
+    def last_act(self) -> int:
+        if self.salp == "none":
+            return self.subarrays[0].last_act
+        best = -FOREVER
+        for sub_id in self.open_subs:
+            best = max(best, self.subarrays[sub_id].last_act)
+        return best
+
+    def is_open(self, row: Tuple[RowKind, int]) -> bool:
+        return self.open_row == row
+
+    def earliest(self, cmd: Command) -> int:
+        """Earliest cycle this bank allows ``cmd`` to issue (degenerate
+        single-subarray view; under SALP the scheduler combines the
+        per-subarray and shared gates itself)."""
+        if cmd is Command.SA_SEL:
+            return self.next_sa_sel
+        if self.salp == "none":
+            return self.subarrays[0].earliest(cmd)
+        if cmd in (Command.ACT, Command.ACT_COL):
+            return self.next_any_act
+        if cmd is Command.RD:
+            return self.col_next_read
+        if cmd is Command.WR:
+            return self.col_next_write
+        if cmd is Command.PRE:
+            return self.next_pre
+        raise ValueError(f"bank does not gate {cmd}")
+
+    # -------------------------------------------------------------- issuing
+
+    def issue_act(self, now: int, row: Tuple[RowKind, int],
+                  sub: Optional[SubarrayState] = None) -> None:
+        if sub is None:
+            sub = self.sub_for_row(row[1])
+        self.version += 1
+        sub.issue_act(now, row)
+        self.activations += 1
+        if self.first_act_cycle < 0:
+            self.first_act_cycle = now
+        self.last_act_cycle = now
+        if self.salp != "none":
+            self.open_subs[sub.sub_id] = now
+            self.designated = sub.sub_id  # newest ACT owns the global SAs
+            self.next_any_act = max(self.next_any_act,
+                                    now + self.timing.tRA)
+
+    def issue_read(self, now: int, extra_internal: int = 0,
+                   sub: Optional[SubarrayState] = None) -> None:
+        self.version += 1
+        if self.salp == "none":
+            self.subarrays[0].issue_read(now, extra_internal)
+            return
+        t = self.timing
+        tail = extra_internal * t.tCCD_L
+        if sub is None:
+            sub = self.subarrays[self.designated]
+        sub.version += 1
+        # CAS spacing binds the shared column path; read-to-precharge
+        # recovery binds only the accessed subarray
+        self.col_next_read = max(self.col_next_read, now + t.tCCD_L + tail)
+        self.col_next_write = max(self.col_next_write, now + t.tCCD_L + tail)
+        sub.next_pre = max(sub.next_pre, now + t.tRTP + tail)
+
+    def issue_write(self, now: int, extra_internal: int = 0,
+                    sub: Optional[SubarrayState] = None) -> None:
+        self.version += 1
+        if self.salp == "none":
+            self.subarrays[0].issue_write(now, extra_internal)
+            return
+        t = self.timing
+        tail = extra_internal * t.tCCD_L
+        if sub is None:
+            sub = self.subarrays[self.designated]
+        sub.version += 1
+        self.col_next_read = max(self.col_next_read, now + t.tCCD_L + tail)
+        self.col_next_write = max(self.col_next_write, now + t.tCCD_L + tail)
+        sub.next_pre = max(sub.next_pre,
+                           now + t.CWL + t.tBL + t.tWR + tail)
+
+    def issue_pre(self, now: int,
+                  sub: Optional[SubarrayState] = None) -> None:
+        self.version += 1
+        if self.salp == "none":
+            self.subarrays[0].issue_pre(now)
+            return
+        if sub is None:
+            sub = self.pre_candidate(now)
+            if sub is None:
+                return
+        sub.issue_pre(now)
+        self.open_subs.pop(sub.sub_id, None)
+        if self.designated == sub.sub_id:
+            self.designated = None
+
+    def issue_sa_sel(self, now: int, sub: SubarrayState) -> None:
+        """MASA: re-designate ``sub`` as the globally connected subarray.
+        The column path pays ``tSA_SEL`` before the next CAS."""
+        t = self.timing
+        self.version += 1
+        sub.version += 1
+        self.sa_sels += 1
+        self.designated = sub.sub_id
+        self.next_sa_sel = max(self.next_sa_sel, now + t.tSA_SEL)
+        self.col_next_read = max(self.col_next_read, now + t.tSA_SEL)
+        self.col_next_write = max(self.col_next_write, now + t.tSA_SEL)
+
     def force_close(self, now: int) -> None:
-        """Close the row as part of a refresh."""
-        if self.open_row is not None:
-            self.issue_pre(now)
+        """Close every open subarray as part of a refresh."""
+        if self.salp == "none":
+            if self.subarrays[0].open_row is not None:
+                self.version += 1
+                self.subarrays[0].issue_pre(now)
+            return
+        for sub_id in list(self.open_subs):
+            self.issue_pre(now, self.subarrays[sub_id])
+
+    def refresh(self, now: int, t_rfc: int) -> None:
+        """Refresh blackout: close all subarrays, block ACTs for tRFC.
+        Replaces the legacy direct ``bank.next_act`` write (the gates are
+        per-subarray now); bumps every readiness epoch involved."""
+        self.force_close(now)
+        self.version += 1
+        until = now + t_rfc
+        self.act_floor = max(self.act_floor, until)
+        for sub in self.subarrays.values():
+            sub.version += 1
+            sub.next_act = max(sub.next_act, until)
+        if self.salp != "none":
+            self.next_any_act = max(self.next_any_act, until)
 
     def snapshot(self) -> dict:
         """Timing-state snapshot for protocol-checker cross-validation."""
-        return {
+        state = {
             "open_row": self.open_row,
             "next_act": self.next_act,
             "next_read": self.next_read,
             "next_write": self.next_write,
             "next_pre": self.next_pre,
         }
+        if self.salp != "none":
+            state["salp"] = self.salp
+            state["designated"] = self.designated
+            state["open_subarrays"] = {
+                sub_id: self.subarrays[sub_id].open_row
+                for sub_id in self.open_subs
+            }
+        return state

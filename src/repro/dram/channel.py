@@ -22,6 +22,7 @@ class ChannelState:
 
     timing: TimingParams
     geometry: Geometry
+    salp: str = "none"
     ranks: List[RankState] = field(default_factory=list)
     next_command: int = 0  # command bus: one command per cycle
     data_free: int = 0  # first cycle the full-width data bus is free
@@ -55,7 +56,7 @@ class ChannelState:
     def __post_init__(self) -> None:
         if not self.ranks:
             self.ranks = [
-                RankState(self.timing, self.geometry)
+                RankState(self.timing, self.geometry, salp=self.salp)
                 for _ in range(self.geometry.ranks)
             ]
 

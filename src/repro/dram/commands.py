@@ -27,6 +27,7 @@ class Command(enum.Enum):
     WR = "WR"  # burst write
     REF = "REF"  # refresh (per rank)
     MRS = "MRS"  # mode-register set (I/O mode switch for SAM)
+    SA_SEL = "SA_SEL"  # MASA: re-designate the globally connected subarray
 
 
 class RequestType(enum.Enum):
@@ -110,17 +111,20 @@ class Request:
     issue_time: int = -1
     finish_time: int = -1
     #: controller readiness-index entry: (bank_version, rank_version,
-    #: command, earliest, reason, bus_kind, bus_sig, req_type,
-    #: (rank, bank_group)).  Scheduling cache only -- never part of the
-    #: request's identity or serialized form.
+    #: subarray_version, command, earliest, reason, bus_kind, bus_sig,
+    #: req_type, (rank, bank_group)).  Scheduling cache only -- never part
+    #: of the request's identity or serialized form.
     _sched_cache: Optional[tuple] = field(
         default=None, repr=False, compare=False
     )
-    #: direct references to the RankState/BankState this request's fixed
-    #: address decodes to, filled by the controller at submit so the
-    #: scheduler scan skips the ranks[...]/banks[...] indexing
+    #: direct references to the RankState/BankState/SubarrayState this
+    #: request's fixed address decodes to, filled by the controller at
+    #: submit so the scheduler scan skips the ranks[...]/banks[...]
+    #: indexing (the subarray is the whole bank in the degenerate
+    #: single-subarray configuration)
     _rank: Optional[object] = field(default=None, repr=False, compare=False)
     _bank: Optional[object] = field(default=None, repr=False, compare=False)
+    _sub: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def is_read(self) -> bool:

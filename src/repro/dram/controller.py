@@ -25,6 +25,7 @@ from ..obs.stalls import (
     CCD_BUS,
     MODE_SWITCH,
     REFRESH,
+    SUBARRAY,
     TFAW,
     TRAS,
     TRCD,
@@ -105,6 +106,7 @@ class CommandStats:
     precharges: int = 0
     refreshes: int = 0
     mode_switches: int = 0
+    sa_sels: int = 0  # MASA subarray re-designations
     row_hits: int = 0
     row_misses: int = 0
     row_conflicts: int = 0
@@ -128,13 +130,17 @@ class MemoryController:
         geometry: Geometry | None = None,
         config: ControllerConfig | None = None,
         channel_id: int = 0,
+        salp: str = "none",
     ) -> None:
         self.kernel = kernel
         self.timing = timing
         self.geometry = geometry or Geometry()
         self.config = config or ControllerConfig()
         self.channel_id = channel_id
-        self.channel = ChannelState(timing, self.geometry)
+        #: subarray-level-parallelism mode: "none" (legacy one-open-row
+        #: banks), "salp1", "salp2" or "masa"
+        self.salp = salp
+        self.channel = ChannelState(timing, self.geometry, salp=salp)
         #: optional command observer: called as (cycle, command, request)
         #: on every issued command (request is None for REF).  Used by
         #: repro.sim.trace and the obs ring buffer; keep it None for
@@ -195,7 +201,9 @@ class MemoryController:
         request.arrival = self.kernel.now
         rank = self.channel.ranks[request.addr.rank]
         request._rank = rank
-        request._bank = rank.banks[request.addr.bank]
+        bank = rank.banks[request.addr.bank]
+        request._bank = bank
+        request._sub = bank.sub_for_row(request.row_id()[1])
         if request.is_read:
             self.read_queue.append(request)
         else:
@@ -329,12 +337,15 @@ class MemoryController:
         memo = self._bus_memo
         memo_get = memo.get
         mrs = Command.MRS
+        sa_sel = Command.SA_SEL
         for index, request in enumerate(queue):
             rank = request._rank
             bank = request._bank
+            sub = request._sub
             entry = request._sched_cache
             if (entry is None or entry[0] != bank.version
-                    or entry[1] != rank.version):
+                    or entry[1] != rank.version
+                    or entry[2] != sub.version):
                 terms = self._entry_terms(request, rank, bank)
                 addr = request.addr
                 if terms[3] == _BUS_CAS:
@@ -350,25 +361,29 @@ class MemoryController:
                     )
                 else:
                     extra = (None, None, (addr.rank, addr.bank_group))
-                entry = (bank.version, rank.version) + terms + extra
+                entry = (bank.version, rank.version, sub.version) \
+                    + terms + extra
                 request._sched_cache = entry
-            command = entry[2]
-            if command is mrs and index > 0:
-                # Only the oldest request may flip the rank's I/O mode;
-                # otherwise requests needing different modes thrash MRS
-                # while waiting out tRCD.  Skipped candidates are retried
-                # whenever the oldest request makes progress.
+            command = entry[3]
+            if (command is mrs or command is sa_sel) and index > 0:
+                # Only the oldest request may flip the rank's I/O mode or
+                # the bank's subarray designation; otherwise requests
+                # needing different modes (or different subarrays, under
+                # MASA) thrash MRS / SA_SEL while waiting out tRCD, each
+                # flip pushing the column gates further out.  Skipped
+                # candidates are retried whenever the oldest request
+                # makes progress.
                 continue
-            earliest = entry[3]
-            reason = entry[4]
-            bus_kind = entry[5]
+            earliest = entry[4]
+            reason = entry[5]
+            bus_kind = entry[6]
             if bus_kind == _BUS_CAS:
-                bus_t = memo_get(entry[6])
+                bus_t = memo_get(entry[7])
                 if bus_t is None:
                     bus_t = chan.earliest_cas_for_bus(
-                        command, request.addr.rank, entry[7], request.subrank
+                        command, request.addr.rank, entry[8], request.subrank
                     )
-                    memo[entry[6]] = bus_t
+                    memo[entry[7]] = bus_t
                 if bus_t > earliest:
                     earliest, reason = bus_t, CCD_BUS
             elif bus_kind == _BUS_MRS:
@@ -380,7 +395,7 @@ class MemoryController:
                     # Bank-group rotation: a CAS to a different bank group
                     # than the previous one runs at tCCD_S instead of
                     # tCCD_L, so prefer it over the oldest ready CAS.
-                    group = entry[8]
+                    group = entry[9]
                     if group != last_group:
                         return (request, command, earliest, reason)
                     if ready_cas is None:
@@ -404,7 +419,8 @@ class MemoryController:
         future: Optional[Tuple[Request, Command, int, str]] = None
         for index, request in enumerate(queue):
             command, earliest, reason = self._next_command(now, request)
-            if command is Command.MRS and index > 0:
+            if (command is Command.MRS
+                    or command is Command.SA_SEL) and index > 0:
                 continue
             if earliest <= now:
                 if command in (Command.RD, Command.WR):
@@ -465,19 +481,25 @@ class MemoryController:
         self, request: Request, rank, bank
     ) -> Tuple[Command, int, str, int]:
         """The stateful half of a readiness entry: the next command
-        ``request`` needs, the earliest issue time over the bank/rank
-        constraints, the binding stall tag, and which bus term applies at
-        lookup time.  Everything read here is covered by ``bank.version``
-        and ``rank.version``, so a cached entry stays exact until one of
-        those moves."""
+        ``request`` needs, the earliest issue time over the
+        subarray/bank/rank constraints, the binding stall tag, and which
+        bus term applies at lookup time.  Everything read here is covered
+        by ``bank.version``, ``rank.version`` and the request's
+        subarray's ``version`` (under SALP one request's readiness also
+        depends on *other* subarrays -- precharge victims, designation --
+        which is why every bank mutation bumps ``bank.version``), so a
+        cached entry stays exact until one of those moves."""
         if rank.ensure_mode(request.io_mode):
             earliest = max(rank.busy_until, rank.next_read, rank.next_write)
             return (Command.MRS, earliest, MODE_SWITCH, _BUS_MRS)
+        if self.salp != "none":
+            return self._entry_terms_salp(request, rank, bank)
 
         needed = request.row_id()
-        if bank.open_row == needed:
+        sub = request._sub  # the whole bank in the degenerate configuration
+        if sub.open_row == needed:
             cmd = Command.RD if request.is_read else Command.WR
-            bank_gate = bank.earliest(cmd)
+            bank_gate = sub.earliest(cmd)
             rank_gate = rank.earliest_cas(cmd)
             if rank_gate == rank.busy_until:
                 rank_tag = REFRESH
@@ -491,19 +513,19 @@ class MemoryController:
                     # the bank CAS gate is tRCD right after an ACT,
                     # tCCD column-path spacing otherwise
                     TRCD
-                    if bank_gate <= bank.last_act + self.timing.tRCD
+                    if bank_gate <= sub.last_act + self.timing.tRCD
                     else CCD_BUS,
                 ),
                 (rank_gate, rank_tag),
             )
             return (cmd, earliest, reason, _BUS_CAS)
-        if bank.open_row is None:
+        if sub.open_row is None:
             cmd = (
                 Command.ACT
                 if needed[0].value == "row"
                 else Command.ACT_COL
             )
-            bank_gate = bank.earliest(Command.ACT)
+            bank_gate = sub.earliest(Command.ACT)
             act_gate = rank.earliest_act(0, request.addr.bank_group)
             if act_gate == rank.busy_until:
                 act_tag = REFRESH
@@ -523,10 +545,109 @@ class MemoryController:
             return (cmd, earliest, reason, _BUS_NONE)
         # row conflict: precharge first
         earliest, reason = self._binding(
-            (bank.earliest(Command.PRE), TRAS),
+            (sub.earliest(Command.PRE), TRAS),
             (rank.busy_until, REFRESH),
         )
         return (Command.PRE, earliest, reason, _BUS_NONE)
+
+    def _entry_terms_salp(
+        self, request: Request, rank, bank
+    ) -> Tuple[Command, int, str, int]:
+        """SALP readiness terms: the per-subarray gates carry tRP/tRCD/
+        tRAS recovery, the bank carries the shared row-logic (tRA) and
+        column-path gates, and SALP-2/MASA additionally gate column
+        commands on global sense-amp designation."""
+        t = self.timing
+        needed = request.row_id()
+        sub = request._sub
+        if sub.open_row == needed:
+            if bank.designated == sub.sub_id:
+                # column command to the globally connected subarray
+                cmd = Command.RD if request.is_read else Command.WR
+                if request.is_read:
+                    local, shared = sub.next_read, bank.col_next_read
+                else:
+                    local, shared = sub.next_write, bank.col_next_write
+                rank_gate = rank.earliest_cas(cmd)
+                if rank_gate == rank.busy_until:
+                    rank_tag = REFRESH
+                elif rank_gate == rank.next_act_any:
+                    rank_tag = MODE_SWITCH
+                else:
+                    rank_tag = WRITE_DRAIN
+                earliest, reason = self._binding(
+                    (local, TRCD if local <= sub.last_act + t.tRCD
+                     else CCD_BUS),
+                    (shared, CCD_BUS),
+                    (rank_gate, rank_tag),
+                )
+                return (cmd, earliest, reason, _BUS_CAS)
+            if self.salp == "masa":
+                # right row open in an undesignated subarray: switch the
+                # global sense-amp connection first
+                earliest, reason = self._binding(
+                    (bank.next_sa_sel, SUBARRAY),
+                    (rank.busy_until, REFRESH),
+                )
+                return (Command.SA_SEL, earliest, reason, _BUS_NONE)
+            # SALP-2 cannot re-connect an undesignated subarray (only an
+            # ACT designates): close it and re-activate
+            earliest, reason = self._binding(
+                (sub.next_pre, TRAS),
+                (rank.busy_until, REFRESH),
+            )
+            return (Command.PRE, earliest, reason, _BUS_NONE)
+        if sub.open_row is None:
+            victim = bank.pre_victim(sub.sub_id)
+            if victim is not None:
+                # the bank is at its open-subarray capacity: close the
+                # oldest open subarray before activating this one
+                vic = bank.subarrays[victim]
+                earliest, reason = self._binding(
+                    (vic.next_pre, TRAS),
+                    (rank.busy_until, REFRESH),
+                )
+                return (Command.PRE, earliest, reason, _BUS_NONE)
+            cmd = (
+                Command.ACT
+                if needed[0].value == "row"
+                else Command.ACT_COL
+            )
+            act_gate = rank.earliest_act(0, request.addr.bank_group)
+            if act_gate == rank.busy_until:
+                act_tag = REFRESH
+            elif act_gate == rank.next_act_any:
+                act_tag = MODE_SWITCH
+            else:
+                act_tag = TFAW
+            earliest, reason = self._binding(
+                (sub.next_act,
+                 REFRESH if rank.busy_until >= sub.next_act else TRP),
+                (bank.next_any_act, SUBARRAY),  # shared row-logic re-arm
+                (act_gate, act_tag),
+            )
+            return (cmd, earliest, reason, _BUS_NONE)
+        # row conflict within this subarray: precharge it first
+        earliest, reason = self._binding(
+            (sub.next_pre, TRAS),
+            (rank.busy_until, REFRESH),
+        )
+        return (Command.PRE, earliest, reason, _BUS_NONE)
+
+    def _pre_target(self, request: Request, bank):
+        """The subarray a PRE chosen for ``request`` closes: the
+        request's own subarray when it holds an open row (wrong row, or
+        right row but undesignated under SALP-2), else the bank's
+        capacity victim.  Deterministic re-derivation at issue time is
+        safe: any intervening state change bumps ``bank.version`` and
+        forces the scheduling entry to be rebuilt."""
+        sub = request._sub
+        if sub.open_row is not None:
+            return sub
+        victim = bank.pre_victim(sub.sub_id)
+        if victim is not None:
+            return bank.subarrays[victim]
+        return bank.pre_candidate(self.kernel.now)
 
     # ------------------------------------------------------------- issuing
 
@@ -535,11 +656,19 @@ class MemoryController:
     ) -> None:
         rank = request._rank
         bank = request._bank
+        pre_sub = None
+        if command is Command.PRE and self.salp != "none":
+            # resolved before the hooks: the checker needs the PRE's
+            # subarray operand (a real SALP PRE names its subarray)
+            pre_sub = self._pre_target(request, bank)
         self.channel.occupy_command_bus(now)
         if self.observer is not None:
             self.observer(now, command, request)
         if self.checker is not None:
-            self.checker.on_command(now, command, request)
+            self.checker.on_command(
+                now, command, request,
+                subarray=None if pre_sub is None else pre_sub.sub_id,
+            )
         if self.timeline is not None:
             self.timeline.on_command(now, command, request)
 
@@ -547,14 +676,18 @@ class MemoryController:
             rank.issue_mode_switch(now, request.io_mode)
             self.stats.mode_switches += 1
             return
+        if command is Command.SA_SEL:
+            bank.issue_sa_sel(now, request._sub)
+            self.stats.sa_sels += 1
+            return
         if command is Command.PRE:
-            bank.issue_pre(now)
+            bank.issue_pre(now, pre_sub)
             self.stats.precharges += 1
             self.stats.row_conflicts += 1
             bank.row_conflicts += 1
             return
         if command in (Command.ACT, Command.ACT_COL):
-            bank.issue_act(now, request.row_id())
+            bank.issue_act(now, request.row_id(), request._sub)
             rank.issue_act(now, request.addr.bank_group)
             if command is Command.ACT_COL:
                 self.stats.col_acts += 1
@@ -567,10 +700,10 @@ class MemoryController:
         # Column command: the request completes.
         req_type = RequestType.READ if request.is_read else RequestType.WRITE
         if command is Command.RD:
-            bank.issue_read(now, request.internal_bursts)
+            bank.issue_read(now, request.internal_bursts, request._sub)
             rank.issue_read(now)
         else:
-            bank.issue_write(now, request.internal_bursts)
+            bank.issue_write(now, request.internal_bursts, request._sub)
             rank.issue_write(now)
         data_end = self.channel.issue_cas(
             now, command, request.addr.rank, req_type, request.subrank
@@ -578,14 +711,18 @@ class MemoryController:
         self._last_cas_group = (request.addr.rank, request.addr.bank_group)
         if self.config.page_policy == "closed":
             # auto-precharge (RDA/WRA): the row closes once tRTP/tWR allow
-            pre_at = bank.earliest(Command.PRE)
+            salp = self.salp != "none"
+            pre_at = request._sub.next_pre if salp \
+                else bank.earliest(Command.PRE)
             if self.checker is not None:
-                self.checker.on_command(pre_at, Command.PRE, request,
-                                        implicit=True)
+                self.checker.on_command(
+                    pre_at, Command.PRE, request, implicit=True,
+                    subarray=request._sub.sub_id if salp else None,
+                )
             if self.timeline is not None:
                 self.timeline.on_command(pre_at, Command.PRE, request,
                                          implicit=True)
-            bank.issue_pre(pre_at)
+            bank.issue_pre(pre_at, request._sub if salp else None)
             self.stats.precharges += 1
         self._account_cas(request, command)
         self.stats.row_hits += 1
@@ -629,21 +766,27 @@ class MemoryController:
         if rank.busy_until > now:
             return rank.busy_until
         if not rank.all_banks_precharged():
-            # precharge the first open bank that is allowed to close
+            # precharge the first open subarray that is allowed to close
+            # (one command per cycle; a SALP bank may take several PREs)
             soonest = FOREVER
             for bank_id, bank in enumerate(rank.banks):
-                if bank.open_row is None:
+                sub = bank.pre_candidate(now)
+                if sub is None:
                     continue
-                ready = bank.earliest(Command.PRE)
+                ready = sub.next_pre
                 if ready <= now:
                     self.channel.occupy_command_bus(now)
                     if self.checker is not None:
-                        self.checker.on_command(now, Command.PRE, None,
-                                                rank=rank_id, bank=bank_id)
+                        self.checker.on_command(
+                            now, Command.PRE, None,
+                            rank=rank_id, bank=bank_id,
+                            subarray=sub.sub_id if self.salp != "none"
+                            else None,
+                        )
                     if self.timeline is not None:
                         self.timeline.on_command(now, Command.PRE, None,
                                                  rank=rank_id, bank=bank_id)
-                    bank.issue_pre(now)
+                    bank.issue_pre(now, sub)
                     self.stats.precharges += 1
                     return now + 1
                 soonest = min(soonest, ready)

@@ -19,6 +19,7 @@ class RankState:
 
     timing: TimingParams
     geometry: Geometry
+    salp: str = "none"
     banks: List[BankState] = field(default_factory=list)
     io_mode: IOMode = IOMode.X4
     next_act_any: int = 0
@@ -38,8 +39,15 @@ class RankState:
 
     def __post_init__(self) -> None:
         if not self.banks:
+            g = self.geometry
             self.banks = [
-                BankState(self.timing) for _ in range(self.geometry.banks)
+                BankState(
+                    self.timing,
+                    salp=self.salp,
+                    subarrays_per_bank=g.subarrays_per_bank,
+                    rows_per_subarray=g.rows_per_subarray,
+                )
+                for _ in range(g.banks)
             ]
 
     def earliest_act(self, now: int, bank_group: int) -> int:
@@ -91,7 +99,7 @@ class RankState:
         self.next_act_any = max(self.next_act_any, stall)
 
     def all_banks_precharged(self) -> bool:
-        return all(b.open_row is None for b in self.banks)
+        return all(b.all_closed for b in self.banks)
 
     def issue_refresh(self, now: int) -> None:
         """Refresh the rank: closes all banks and blacks out tRFC."""
@@ -99,9 +107,5 @@ class RankState:
         self.refreshes += 1
         self.version += 1
         for bank in self.banks:
-            bank.force_close(now)
-            # next_act is written directly (not via issue_*), so the
-            # bank's readiness epoch must advance here as well
-            bank.version += 1
-            bank.next_act = max(bank.next_act, now + t.tRFC)
+            bank.refresh(now, t.tRFC)
         self.busy_until = max(self.busy_until, now + t.tRFC)

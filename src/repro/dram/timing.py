@@ -10,6 +10,17 @@ cites.
 
 The mode-switch delay of SAM (``tMOD_IO``) equals the rank-to-rank delay
 (tRTR = 2 CK) per Section 5.3 of the paper.
+
+Subarray-level parallelism (SALP, Kim et al. ISCA'12) adds two
+parameters.  ``tRA`` paces back-to-back ACTs to *different subarrays of
+the same bank* (the global row-address latch and wordline drivers are
+shared, so the second ACT must wait a short re-arm delay instead of the
+full tRP precharge of the first subarray).  ``tSA_SEL`` is the
+subarray-select delay of MASA: re-designating which activated subarray
+drives the shared global bitlines costs one control-register write
+before the next column command.  Both default to values in the tRRD/tRTR
+class so every preset is SALP-capable without redefining it; they are
+ignored entirely in the degenerate single-subarray configuration.
 """
 
 from __future__ import annotations
@@ -46,6 +57,10 @@ class TimingParams:
     tRFC: int  # refresh cycle time
     # SAM extension: I/O mode (stride mode) switch delay, == tRTR per paper
     tMOD_IO: int
+    # SALP extension (fields must stay last: every earlier field is
+    # default-less and positional call sites exist)
+    tRA: int = 4  # ACT -> ACT, same bank, different subarray
+    tSA_SEL: int = 2  # MASA subarray re-designation -> column command
 
     def ns(self, cycles: int) -> float:
         """Convert a cycle count to nanoseconds."""
@@ -94,6 +109,8 @@ DDR4_2400 = TimingParams(
     tREFI=9360,  # 7.8 us
     tRFC=420,  # 350 ns for an 8Gb device
     tMOD_IO=2,
+    tRA=4,  # shared row-logic re-arm, tRRD_S class
+    tSA_SEL=2,  # designation switch, tRTR class
 )
 
 #: RRAM substrate per Table 2 (CL-nRCD-nRP: 17-35-1) on the same DDR4-2400
@@ -122,6 +139,8 @@ RRAM = TimingParams(
     tREFI=0,  # non-volatile: no refresh
     tRFC=0,
     tMOD_IO=2,
+    tRA=4,
+    tSA_SEL=2,
 )
 
 PRESETS = {p.name: p for p in (DDR4_2400, RRAM)}

@@ -33,13 +33,15 @@ BENCH_SCHEMA_VERSION = 1
 
 #: pinned kernel set: representative schemes x query shapes (gathers on
 #: a row store, a pure column store, SAM on both friendly and hostile
-#: queries, and the column-wise-activation design)
+#: queries, the column-wise-activation design, and the subarray-parallel
+#: bank model)
 BENCH_KERNELS: Tuple[Tuple[str, str], ...] = (
     ("baseline", "Q3"),
     ("column-store", "Q1"),
     ("SAM-en", "Q3"),
     ("SAM-en", "Qs1"),
     ("SAM-sub", "Q1"),
+    ("masa", "Q3"),
 )
 
 #: default wall-time regression gate (CI machines vary; 2x is meant to

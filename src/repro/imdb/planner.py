@@ -148,11 +148,18 @@ class Planner:
         g = self.scheme.gather_factor
         pred_sectors = len(self.sector_offsets(table, pred_fields))
         lines = max(1, table.schema.record_bytes // self.line_bytes)
+        # SALP overlaps precharge/activation across subarrays, so the
+        # serialized row-conflict component of a row-wise plan shrinks.
+        # Applied only when non-1.0: the guard keeps the last-ulp
+        # sensitive arithmetic below bit-identical for existing schemes.
+        derate = self.scheme.salp_row_derate
         if proj_fields is None:
             # SELECT *: projection is a row read either way; the choice
             # only covers the predicate scan
             col_cost = pred_sectors / g_eff
             row_cost = 1.0
+            if derate != 1.0:
+                row_cost *= derate
             return col_cost, row_cost
         proj_sectors = len(self.sector_offsets(table, proj_fields))
         p_any = min(1.0, selectivity * g)
@@ -164,6 +171,8 @@ class Planner:
         row_cost = max(1, pred_lines) + selectivity * min(
             lines, proj_lines
         )
+        if derate != 1.0:
+            row_cost *= derate
         return col_cost, row_cost
 
     def stride_worthwhile(

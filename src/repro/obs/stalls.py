@@ -61,11 +61,14 @@ REFRESH = "refresh"
 MODE_SWITCH = "mode_switch"
 #: the controller was actively issuing / data was in flight on the bus
 DRAM_SERVICE = "dram_service"
+#: subarray-level conflict under SALP: shared row-logic tRA pacing,
+#: SA_SEL designation switch, or waiting on another subarray's state
+SUBARRAY = "subarray"
 
 #: every bucket a breakdown may contain, in report order
 STALL_REASONS = (
     BUSY, DRAM_SERVICE, TRCD, TRP, TRAS, TFAW, CCD_BUS, WRITE_DRAIN,
-    REFRESH, MODE_SWITCH, QUEUE_FULL,
+    REFRESH, MODE_SWITCH, SUBARRAY, QUEUE_FULL,
 )
 
 #: block kinds a core records (QUEUE_FULL passes through; MEM_WAIT is

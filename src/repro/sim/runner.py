@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 from ..core.registry import make_scheme
 from ..core.scheme import AccessScheme, Placement, TablePlacement
 from ..cpu.core import Core
-from ..kernel import SimulationError
+from ..kernel import Kernel, SimulationError
 from ..obs import (
     Observation,
     SimulationStallError,
@@ -43,7 +43,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..imdb.query import Query
     from ..imdb.schema import Table
 from .config import SystemConfig
-from .kernel import Kernel
 from .results import RunResult
 from .system import MemorySystem
 
@@ -322,6 +321,7 @@ def run_query(
                 TimingProtocolChecker(
                     scheme.timing, scheme.geometry,
                     registry=obs.registry, strict=True,
+                    salp=scheme.salp_mode,
                 ).attach(system.controller)
             placements = allocate_placements(scheme, tables)
         with profiler.span("build"):

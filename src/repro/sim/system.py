@@ -18,8 +18,8 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from ..cache.hierarchy import CacheHierarchy, HierarchyConfig, LookupResult
 from ..core.scheme import AccessScheme, GatherPlan
 from ..dram.controller import MemoryController
+from ..kernel import Kernel
 from .config import SystemConfig
-from .kernel import Kernel
 
 
 @dataclass
@@ -67,6 +67,7 @@ class MemorySystem:
             scheme.timing,
             scheme.geometry,
             self.config.controller,
+            salp=scheme.salp_mode,
         )
         self.line_bytes = self.config.hierarchy.line_bytes
         self.stats = SystemStats()

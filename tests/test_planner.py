@@ -18,9 +18,12 @@ from repro.sim.runner import run_ideal, run_query
 
 STRIDED = (
     "GS-DRAM", "GS-DRAM-ecc", "RC-NVM-bit", "RC-NVM-wd",
-    "SAM-IO", "SAM-en", "SAM-sub",
+    "SAM-IO", "SAM-en", "SAM-sub", "SAM-en+masa",
 )
-ROW_PLAIN = ("baseline", "sub-rank")
+# the pure SALP schemes keep the stock interface and row layout: their
+# plans are plain-row shapes (the salp_row_derate moves costs, not modes,
+# for stride-less designs)
+ROW_PLAIN = ("baseline", "sub-rank", "salp1", "salp2", "masa")
 COL_PLAIN = ("column-store",)
 
 

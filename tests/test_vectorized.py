@@ -15,7 +15,7 @@ import pytest
 from hypothesis import given, settings
 
 import repro.dram.commands as dram_commands
-from repro.check.fuzz import generate_case, run_case
+from repro.check.fuzz import SALP_SCHEMES, generate_case, run_case
 from repro.dram import datapath as dp
 from repro.dram import iobuffer as io
 from repro.ecc.chipkill import ChipAlignedSSC, SSCCodec, SSCDSDCodec
@@ -233,3 +233,25 @@ def test_readiness_index_matches_full_recompute(index):
     slow = _command_stream(case, readiness_index=False)
     assert fast == slow
     assert fast  # a silent empty stream would vacuously pass
+
+
+@pytest.mark.parametrize("index", range(12))
+def test_readiness_index_matches_recompute_under_salp(index):
+    """Same equivalence over the subarray-aware schemes: the per-subarray
+    version keys and the SA_SEL path must invalidate exactly like the
+    full recompute."""
+    case = generate_case(seed=20260808, index=index, schemes=SALP_SCHEMES)
+    fast = _command_stream(case, readiness_index=True)
+    slow = _command_stream(case, readiness_index=False)
+    assert fast == slow
+    assert fast
+
+
+@pytest.mark.parametrize("scheme", ("salp1", "masa"))
+def test_salp_checked_fuzz_stays_clean(scheme):
+    """Short per-scheme checked-fuzz runs (protocol checker + data
+    oracles attached); the long stream lives in CI's fuzz job."""
+    for index in range(6):
+        case = generate_case(seed=1804, index=index, schemes=(scheme,))
+        result = run_case(case)
+        assert not result.failed, result.summary()

@@ -63,6 +63,10 @@ class Core:
         self.gathers = 0
         self.hits = 0
         self.misses = 0
+        #: backpressure retries scheduled (queue-full re-attempts on the
+        #: ``retry_interval`` grid; MLP-exhausted waits are event-driven
+        #: -- a completion reschedules the core -- and never count here)
+        self.retries = 0
         # Activity window in memory cycles (span profiling)
         self.start_cycle = 0
         self.finish_cycle: int | None = None
@@ -89,6 +93,7 @@ class Core:
             "pc": self._pc,
             "ops": len(self._ops),
             "inflight": self._inflight,
+            "retries": self.retries,
             "ready_time": self._ready_time,
             "finished": self.finished,
         }
@@ -169,6 +174,15 @@ class Core:
     # --------------------------------------------------------- op handlers
 
     def _retry_later(self) -> bool:
+        # Queue-full backpressure keeps the fixed retry grid in both
+        # scheduling modes.  An event-driven wake at the exact cycle a
+        # slot frees would submit at a *different* kernel instant than
+        # the polling grid does, changing same-cycle submit order, queue
+        # append order, and therefore FR-FCFS FCFS tie-breaks -- the
+        # cycle-exactness the event-wheel equivalence suite locks down
+        # forbids it.  A failed attempt is also not skippable: its cache
+        # lookups touch shared LRU state other cores interleave with.
+        self.retries += 1
         self._schedule_advance(self.kernel.now + self.config.retry_interval)
         return False
 

@@ -80,6 +80,18 @@ class ControllerConfig:
     #: the old-style full recompute; command streams are identical either
     #: way (enforced by the scheduler-equivalence test).
     readiness_index: bool = True
+    #: event-wheel scheduling: after issuing a command the controller
+    #: dry-runs the next cycle's scheduler scan while the readiness index
+    #: is hot and stashes the decision, so the wake-up one cycle later
+    #: replays it in O(1) instead of re-scanning (any intervening submit
+    #: invalidates the stash).  The wake-up *event stream* is identical
+    #: to polling's by construction -- every scheduling decision happens
+    #: at the same kernel instant -- which is what makes command streams,
+    #: cycle counts and stall ledgers exactly equal in both modes
+    #: (enforced by the event-wheel equivalence suite).  False disables
+    #: the dry-run, keeping the plain re-scan as the behavioral
+    #: reference oracle.
+    event_wheel: bool = True
 
 
 #: how a readiness entry's earliest time combines with the shared-bus
@@ -165,11 +177,34 @@ class MemoryController:
         #: optional obs.metrics.MetricsRegistry for controller-side
         #: counters (queue_full_rejects)
         self.metrics = None
+        #: optional callback fired as ``(request,)`` whenever a request
+        #: leaves a queue (a RD/WR issued), i.e. whenever a queue slot
+        #: frees.  The memory system uses it to retry blocked writebacks
+        #: the moment a slot opens instead of polling on a fixed
+        #: interval.
+        self.slot_listener = None
         self.read_queue: List[Request] = []
         self.write_queue: List[Request] = []
         self.stats = CommandStats()
         self._draining_writes = False
         self._wakeup_at: Optional[int] = None
+        self._wakeup_token = None
+        # Event-wheel dry-run state: the full scheduler decision
+        # `_peek_wake` derived for the next cycle's wake-up, reusable iff
+        # no submit moved the queues since (`_queue_epoch`).  The wake-up
+        # event itself is still scheduled -- the wheel never changes
+        # *when* the controller wakes relative to polling, only whether
+        # the wake-up replays a memoized decision in O(1) or re-runs the
+        # FR-FCFS scan.  Keeping the event stream identical to polling's
+        # is what makes command streams, cycle counts and stall ledgers
+        # match exactly: every scheduling decision happens at the same
+        # kernel instant, interleaved identically with core and
+        # completion events.
+        self._peeked: Optional[tuple] = None
+        self._queue_epoch: int = 0
+        #: wake-ups that replayed a memoized dry-run decision instead of
+        #: re-running the FR-FCFS scan (event-wheel mode only)
+        self.peek_hits: int = 0
         self._last_cas_group: Optional[Tuple[int, int]] = None
         # per-wakeup memo of earliest_cas_for_bus results, valid for one
         # data-bus epoch: queued requests overwhelmingly share their
@@ -208,6 +243,7 @@ class MemoryController:
             self.read_queue.append(request)
         else:
             self.write_queue.append(request)
+        self._queue_epoch += 1
         self._schedule_wakeup(self.kernel.now)
 
     def can_accept(self, request: Request) -> bool:
@@ -223,19 +259,40 @@ class MemoryController:
     def _schedule_wakeup(self, when: int) -> None:
         when = max(when, self.kernel.now)
         if self._wakeup_at is not None and self._wakeup_at <= when:
+            # the pending earlier wake-up stands
             return
+        # Supersede by scheduling a fresh, earlier event; the later one
+        # stays in the heap and fires stale (the `_wakeup` guard drops
+        # it).  Cancelling it would be cheaper but changes behavior: if
+        # the controller later re-arms that same time, the lingering
+        # event -- the oldest one scheduled for it -- is the one that
+        # acts, at its *original* sequence position within the cycle
+        # (before any same-cycle events scheduled later).  The stall
+        # ledger depends on that ordering, and keeping it identical in
+        # both scheduling modes is what makes the event wheel exact.
         self._wakeup_at = when
-        self.kernel.schedule_at(when, self._wakeup)
+        self._wakeup_token = self.kernel.schedule_at(when, self._wakeup)
 
     def _wakeup(self) -> None:
         # Drop stale events: only the event matching the armed time acts.
         # (When an earlier wake-up is scheduled over a pending later one,
         # the later event still fires; acting on it would fork a second
-        # self-perpetuating wake-up chain.)
+        # self-perpetuating wake-up chain.)  Both scheduling modes rely
+        # on this guard -- superseded events are never cancelled.
         if self._wakeup_at != self.kernel.now:
             return
         self._wakeup_at = None
-        next_time = self._try_issue(self.kernel.now)
+        self._wakeup_token = None
+        now = self.kernel.now
+        next_time = self._try_issue(now)
+        if (next_time is not None and next_time == now + 1
+                and self.config.event_wheel):
+            # Event wheel: dry-run the next cycle's scheduler scan while
+            # the readiness index is hot, so the wake-up at ``now + 1``
+            # can replay the decision in O(1) unless a submit lands in
+            # between.  The wake-up itself is still scheduled below,
+            # exactly as in polling mode.
+            self._peek_wake(now + 1)
         if next_time is not None:
             self._schedule_wakeup(next_time)
 
@@ -250,6 +307,19 @@ class MemoryController:
 
     def _try_issue(self, now: int) -> Optional[int]:
         """Issue at most one command; return the next wake-up time."""
+        peeked = self._peeked
+        if peeked is not None:
+            self._peeked = None
+            if peeked[0] == self._queue_epoch and peeked[1] == now:
+                # nothing arrived since the dry-run: its decision is
+                # exact, replay it without re-running the scan
+                self.peek_hits += 1
+                if peeked[2] == "issue":
+                    return self._issue_peeked(now, peeked)
+                _epoch, _when, _kind, draining, reason, wake = peeked
+                self._draining_writes = draining
+                self._note_wait(now, wake, reason)
+                return wake
         if self.channel.next_command > now:
             self._note_wait(now, self.channel.next_command, CCD_BUS)
             return self.channel.next_command
@@ -286,6 +356,57 @@ class MemoryController:
         if self.stall_ledger is not None:
             self.stall_ledger.note(start, end, reason)
 
+    def _peek_wake(self, now: int) -> None:
+        """Dry-run the scheduler scan the wake-up at ``now`` will perform.
+
+        Pure: no stall notes, no hysteresis commit, no state mutation
+        beyond stashing the outcome in ``_peeked`` tagged with the queue
+        epoch -- any submit landing before the wake-up invalidates the
+        stash and the wake-up re-runs the scan with the arrival, exactly
+        as polling would.  Between this dry-run (end of the current
+        wake-up) and the wake-up at ``now`` the scan's inputs can only
+        change via submits: requests leave queues solely when this
+        controller issues, and bank/bus/refresh state mutates solely via
+        controller commands.  Outcomes other than a scan decision (bus
+        busy, refresh due, idle) are O(1) to recompute, so they are not
+        memoized -- the stash stays None and the wake-up takes its normal
+        path."""
+        self._peeked = None
+        if self.channel.next_command > now:
+            return
+        if self._refresh_due(now) is not None:
+            return
+        queue, draining = self._pick_queue()
+        if queue is None:
+            return
+        choice = self._frfcfs_choose(now, queue)
+        if choice is None:
+            return
+        request, command, earliest, reason = choice
+        drain_note = queue is self.write_queue and bool(self.read_queue)
+        if earliest > now:
+            if drain_note:
+                reason = WRITE_DRAIN
+            wake = min(earliest, self._next_refresh_deadline() or FOREVER)
+            self._peeked = (
+                self._queue_epoch, now, "wait", draining, reason, wake,
+            )
+        else:
+            self._peeked = (
+                self._queue_epoch, now, "issue", request, command, queue,
+                draining, drain_note,
+            )
+
+    def _issue_peeked(self, now: int, peeked: tuple) -> Optional[int]:
+        """Issue the command a `_peek_wake` dry-run chose for this cycle."""
+        (_epoch, _when, _kind, request, command, queue, draining,
+         drain_note) = peeked
+        self._draining_writes = draining
+        if drain_note:
+            self._note_wait(now, now + 1, WRITE_DRAIN)
+        self._issue(now, request, command, queue)
+        return now + 1 if (self.read_queue or self.write_queue) else None
+
     def _next_refresh_deadline(self) -> Optional[int]:
         if not self.config.refresh_enabled or self.timing.tREFI <= 0:
             return None
@@ -295,20 +416,30 @@ class MemoryController:
 
     def _active_queue(self) -> Optional[List[Request]]:
         """Pick the queue to serve, honouring write-drain watermarks."""
+        queue, self._draining_writes = self._pick_queue()
+        return queue
+
+    def _pick_queue(self) -> Tuple[Optional[List[Request]], bool]:
+        """``(queue, draining_after)``: the queue a wake-up would serve and
+        the write-drain hysteresis state it would leave behind.  Side-effect
+        free so the event-wheel dry-run can evaluate a wake-up without
+        committing the drain transition (the hysteresis update is idempotent
+        for a given pair of queue lengths, so deferring the commit to the
+        real wake-up cannot change any later decision)."""
         cfg = self.config
-        if self._draining_writes:
+        draining = self._draining_writes
+        if draining:
             if len(self.write_queue) <= cfg.write_low_watermark:
-                self._draining_writes = False
+                draining = False
             else:
-                return self.write_queue
+                return self.write_queue, True
         if len(self.write_queue) >= cfg.write_high_watermark:
-            self._draining_writes = True
-            return self.write_queue
+            return self.write_queue, True
         if self.read_queue:
-            return self.read_queue
+            return self.read_queue, draining
         if self.write_queue:
-            return self.write_queue
-        return None
+            return self.write_queue, draining
+        return None, draining
 
     def _frfcfs_choose(
         self, now: int, queue: List[Request]
@@ -745,6 +876,10 @@ class MemoryController:
             self.kernel.schedule_at(
                 complete_at, lambda r=request, t=complete_at: callback(r, t)
             )
+        if self.slot_listener is not None:
+            # a queue slot just freed: let the system wake whoever is
+            # backpressured on it (event-wheel replacement for retry polls)
+            self.slot_listener(request)
 
     def _account_cas(self, request: Request, command: Command) -> None:
         s = self.stats
@@ -802,3 +937,22 @@ class MemoryController:
         self.stats.refreshes += 1
         self._next_refresh[rank_id] += self.timing.tREFI
         return now + 1
+
+    def _refresh_step_wake(self, now: int, rank_id: int) -> Optional[int]:
+        """Side-effect-free mirror of :meth:`_issue_refresh_step`: the time
+        that step would return *without issuing anything*, or ``now`` when
+        it would issue a command (PRE or REF) this cycle."""
+        rank = self.channel.ranks[rank_id]
+        if rank.busy_until > now:
+            return rank.busy_until
+        if not rank.all_banks_precharged():
+            soonest = FOREVER
+            for bank in rank.banks:
+                sub = bank.pre_candidate(now)
+                if sub is None:
+                    continue
+                if sub.next_pre <= now:
+                    return now
+                soonest = min(soonest, sub.next_pre)
+            return soonest
+        return now

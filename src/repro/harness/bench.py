@@ -87,6 +87,7 @@ def run_bench(
                 + result.core_stats.get("stores", 0)
                 + result.core_stats.get("gathers", 0)
             )
+            events = int(result.metrics.get("sim.events", 0))
             row = {
                 "kernel": [scheme, query_name],
                 "wall_s": wall_s,
@@ -97,6 +98,17 @@ def run_bench(
                 ),
                 "mem_ops": mem_ops,
                 "ops_per_sec": mem_ops / sim_wall_s if sim_wall_s else 0.0,
+                # wake-up efficiency: executed kernel events, and events
+                # per simulated cycle (deterministic, like cycles -- the
+                # event wheel keeps it identical to the polling reference
+                # by construction, so drift here is a behavior change)
+                "events": events,
+                "events_per_cycle": (
+                    events / result.cycles if result.cycles else 0.0
+                ),
+                "events_per_sec": (
+                    events / sim_wall_s if sim_wall_s else 0.0
+                ),
             }
             if best is None or row["wall_s"] < best["wall_s"]:
                 best = row
@@ -104,6 +116,7 @@ def run_bench(
     total_wall = sum(r["wall_s"] for r in rows)
     total_cycles = sum(r["cycles"] for r in rows)
     total_sim_wall = sum(r["sim_wall_s"] for r in rows)
+    total_events = sum(r["events"] for r in rows)
     created_unix = time.time()
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -121,6 +134,13 @@ def run_bench(
             "cycles": total_cycles,
             "cycles_per_sec": (
                 total_cycles / total_sim_wall if total_sim_wall else 0.0
+            ),
+            "events": total_events,
+            "events_per_cycle": (
+                total_events / total_cycles if total_cycles else 0.0
+            ),
+            "events_per_sec": (
+                total_events / total_sim_wall if total_sim_wall else 0.0
             ),
         },
     }
@@ -246,6 +266,18 @@ def compare_bench(
                 notes.append(
                     drift + "(behavior change, not a perf regression)"
                 )
+        # events are deterministic like cycles; older baselines predate
+        # the field, so only compare when both payloads carry it
+        if (
+            base.get("events") is not None
+            and row.get("events") is not None
+            and base["events"] != row["events"]
+        ):
+            notes.append(
+                f"{name}: executed events changed "
+                f"{base['events']} -> {row['events']} "
+                f"(wakeup-schedule change, not a perf regression)"
+            )
     for key in base_rows:
         notes.append(f"{'/'.join(key)}: kernel missing from current run")
     return regressions, notes
@@ -256,7 +288,8 @@ def render_bench(payload: Dict[str, object]) -> str:
     lines = [
         f"bench {payload['label']} "
         f"(git {payload.get('git') or '?'}, {payload.get('created', '?')})",
-        "kernel                    wall_s   Mcycles/s     kops/s    cycles",
+        "kernel                    wall_s   Mcycles/s     kops/s"
+        "    cycles  ev/cyc",
     ]
     for row in payload.get("kernels", []):
         name = "/".join(row["kernel"])
@@ -265,11 +298,13 @@ def render_bench(payload: Dict[str, object]) -> str:
             f"{row['cycles_per_sec'] / 1e6:>12.2f}"
             f"{row['ops_per_sec'] / 1e3:>11.1f}"
             f"{row['cycles']:>10d}"
+            f"{row.get('events_per_cycle', 0.0):>8.3f}"
         )
     totals = payload.get("totals", {})
     lines.append(
         f"{'total':<24s}{totals.get('wall_s', 0.0):>9.3f}"
         f"{totals.get('cycles_per_sec', 0.0) / 1e6:>12.2f}"
         f"{'':>11s}{totals.get('cycles', 0):>10d}"
+        f"{totals.get('events_per_cycle', 0.0):>8.3f}"
     )
     return "\n".join(lines)

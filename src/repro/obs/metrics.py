@@ -147,6 +147,16 @@ class MetricsRegistry:
                   bounds: Sequence[float]) -> Histogram:
         return self._get_or_create(name, Histogram, bounds)
 
+    def set_ratio(self, name: str, numerator: float,
+                  denominator: float) -> Gauge:
+        """Gauge ``name`` set to ``numerator / denominator`` (0 when the
+        denominator is 0).  For derived rates like events-per-simulated-
+        cycle, where a bare division would need a guard at every call
+        site."""
+        gauge = self.gauge(name)
+        gauge.set(numerator / denominator if denominator else 0.0)
+        return gauge
+
     # -------------------------------------------------------------- reading
 
     def names(self) -> List[str]:

@@ -175,6 +175,7 @@ def _publish_metrics(
     events: int,
     max_events: int,
     scheme: AccessScheme,
+    kernel: Optional[Kernel] = None,
 ) -> None:
     """Publish every collected statistic into the metrics registry."""
     reg = obs.registry
@@ -183,7 +184,8 @@ def _publish_metrics(
         system.controller.stats.avg_read_latency
     )
     reg.publish_struct("sys", system.stats)
-    for name in ("loads", "stores", "gathers", "hits", "misses"):
+    for name in ("loads", "stores", "gathers", "hits", "misses",
+                 "retries"):
         reg.counter(f"core.{name}").inc(
             sum(getattr(c, name) for c in cores)
         )
@@ -196,6 +198,16 @@ def _publish_metrics(
     # visible long before they trip _MAX_EVENTS.
     reg.gauge("sim.events").set(events)
     reg.gauge("sim.max_events").set(max_events)
+    # Event-wheel efficiency gauges: executed kernel events per simulated
+    # cycle (the wakeup-efficiency number the bench ratchets), memoized
+    # scheduler replays, and writeback-poll futility.
+    reg.set_ratio("sim.events_per_cycle", events, cycles)
+    if kernel is not None:
+        reg.gauge("kernel.events").set(kernel.events)
+        reg.gauge("kernel.cancelled").set(kernel.cancelled)
+    reg.gauge("dram.peek_hits").set(system.controller.peek_hits)
+    reg.gauge("sys.wb_polls").set(system.wb_polls)
+    reg.gauge("sys.wb_polls_futile").set(system.wb_polls_futile)
     frac = events / max_events if max_events else 0.0
     reg.gauge("sim.event_budget_used").set(frac)
     if frac > _EVENT_WARN_FRACTION:
@@ -372,7 +384,8 @@ def run_query(
         _add_activity_spans(obs, execute_span, cores, system)
 
     cycles = kernel.now
-    _publish_metrics(obs, system, cores, cycles, events, limit, scheme)
+    _publish_metrics(obs, system, cores, cycles, events, limit, scheme,
+                     kernel=kernel)
     stalls = _attribute_stalls(obs, cores)
     _finish_timeline(obs, cycles)
     # Energy is priced off the registry: the published dram.* counters

@@ -74,8 +74,26 @@ class MemorySystem:
         self._mshr: Dict[int, _MSHREntry] = {}
         self._pending_writebacks: Deque[int] = deque()
         self._writeback_poll_scheduled = False
+        # Writeback-poll futility gate (event-wheel mode).  The poll
+        # *event chain* is identical in both scheduling modes -- polls
+        # fire at exactly the cycles and heap positions polling mode
+        # uses, which is what keeps the two modes cycle-exact -- but a
+        # poll that provably cannot succeed re-arms in O(1) instead of
+        # re-lowering the blocked writeback.  The proof obligation: a
+        # blocked drain can only unblock after a controller queue slot
+        # frees, and slots free exactly when the controller issues a
+        # RD/WR (`slot_listener`).  If no issue happened since the poll
+        # was armed, queue lengths can only have grown, so the same
+        # admission check must fail again.
+        self._wb_slot_epoch = 0
+        self._wb_armed_epoch = -1
+        #: writeback poll events fired / fired-but-provably-futile
+        self.wb_polls = 0
+        self.wb_polls_futile = 0
         self.outstanding_writes = 0
         self._done_callbacks: List[Callable[[], None]] = []
+        if self.config.controller.event_wheel:
+            self.controller.slot_listener = self._on_slot_freed
 
     # ------------------------------------------------------------ utilities
 
@@ -280,16 +298,34 @@ class MemorySystem:
             self.stats.writebacks += 1
             self._submit_plan(requests, None)
 
+    def _on_slot_freed(self, _request) -> None:
+        """Controller notification: a RD/WR issued, so a queue slot just
+        freed.  Marks blocked writeback polls as worth retrying."""
+        self._wb_slot_epoch += 1
+
     def _schedule_writeback_poll(self) -> None:
         if self._writeback_poll_scheduled:
             return
         self._writeback_poll_scheduled = True
+        self._wb_armed_epoch = self._wb_slot_epoch
+        self.kernel.schedule(16, self._writeback_poll)
 
-        def _poll() -> None:
-            self._writeback_poll_scheduled = False
-            self._drain_writebacks()
-
-        self.kernel.schedule(16, _poll)
+    def _writeback_poll(self) -> None:
+        self.wb_polls += 1
+        self._writeback_poll_scheduled = False
+        if (
+            self.config.controller.event_wheel
+            and self._pending_writebacks
+            and self._wb_slot_epoch == self._wb_armed_epoch
+        ):
+            # No queue slot freed since this poll was armed: re-lowering
+            # the blocked writeback would fail the same admission check,
+            # so skip straight to re-arming (exactly what a failed drain
+            # attempt would have done).
+            self.wb_polls_futile += 1
+            self._schedule_writeback_poll()
+            return
+        self._drain_writebacks()
 
     def flush_caches(self) -> None:
         """End-of-run: push every dirty line toward memory."""
@@ -310,6 +346,8 @@ class MemorySystem:
         return {
             "mshr_lines": len(self._mshr),
             "pending_writebacks": len(self._pending_writebacks),
+            "writeback_polls": self.wb_polls,
+            "writeback_polls_futile": self.wb_polls_futile,
             "outstanding_writes": self.outstanding_writes,
             "read_queue": len(self.controller.read_queue),
             "write_queue": len(self.controller.write_queue),

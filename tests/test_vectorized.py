@@ -206,8 +206,15 @@ def test_chip_aligned_batches_match_scalar(layout, data):
 
 # ------------------------------------------------- scheduler equivalence
 
-def _command_stream(case, readiness_index):
-    """Issued command stream of one fuzz case under the given scheduler."""
+def _command_stream(case, readiness_index=True, event_wheel=True):
+    """One fuzz case replayed under the given scheduler variant.
+
+    Returns ``(command_log, final_cycle, ledger_entries)`` so the
+    equivalence tests can diff the full observable behavior: the issued
+    command stream, the cycle the trace drained at, and the controller's
+    stall attribution."""
+    from repro.obs.stalls import StallLedger
+
     # req_ids must line up between the two replays
     dram_commands._request_ids = itertools.count()
     log = []
@@ -218,10 +225,13 @@ def _command_stream(case, readiness_index):
             None if request is None else request.req_id,
         ))
 
+    ledger = StallLedger()
     result = run_case(case, oracle_data=False,
-                      readiness_index=readiness_index, on_command=observe)
+                      readiness_index=readiness_index,
+                      event_wheel=event_wheel,
+                      stall_ledger=ledger, on_command=observe)
     assert not result.failed, result.summary()
-    return log
+    return log, result.cycles, [tuple(e) for e in ledger.entries]
 
 
 @pytest.mark.parametrize("index", range(12))
@@ -229,8 +239,8 @@ def test_readiness_index_matches_full_recompute(index):
     """The incremental readiness index must issue the exact command
     stream (cycle, command, request) of the full-recompute scheduler."""
     case = generate_case(seed=20260808, index=index)
-    fast = _command_stream(case, readiness_index=True)
-    slow = _command_stream(case, readiness_index=False)
+    fast, _, _ = _command_stream(case, readiness_index=True)
+    slow, _, _ = _command_stream(case, readiness_index=False)
     assert fast == slow
     assert fast  # a silent empty stream would vacuously pass
 
@@ -241,10 +251,35 @@ def test_readiness_index_matches_recompute_under_salp(index):
     version keys and the SA_SEL path must invalidate exactly like the
     full recompute."""
     case = generate_case(seed=20260808, index=index, schemes=SALP_SCHEMES)
-    fast = _command_stream(case, readiness_index=True)
-    slow = _command_stream(case, readiness_index=False)
+    fast, _, _ = _command_stream(case, readiness_index=True)
+    slow, _, _ = _command_stream(case, readiness_index=False)
     assert fast == slow
     assert fast
+
+
+@pytest.mark.parametrize("index", range(12))
+def test_event_wheel_matches_polling(index):
+    """Event-wheel wake-ups must be *exact*: identical command stream,
+    final cycle count, and stall ledger as the per-cycle polling
+    reference, on the same fuzzed traces the readiness battery replays
+    (refresh-heavy cases included -- generate_case mixes them in)."""
+    case = generate_case(seed=20260808, index=index)
+    wheel = _command_stream(case, event_wheel=True)
+    poll = _command_stream(case, event_wheel=False)
+    assert wheel == poll
+    assert wheel[0]
+
+
+@pytest.mark.parametrize("index", range(12))
+def test_event_wheel_matches_polling_under_salp(index):
+    """Same exactness over the subarray-aware schemes, where the dry-run
+    memoization must agree with SA_SEL designation and per-subarray
+    readiness churn."""
+    case = generate_case(seed=20260808, index=index, schemes=SALP_SCHEMES)
+    wheel = _command_stream(case, event_wheel=True)
+    poll = _command_stream(case, event_wheel=False)
+    assert wheel == poll
+    assert wheel[0]
 
 
 @pytest.mark.parametrize("scheme", ("salp1", "masa"))

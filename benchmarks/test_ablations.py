@@ -16,7 +16,7 @@ import pytest
 from conftest import emit
 from repro.core.sam import SAMEnScheme
 from repro.dram.timing import DDR4_2400
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 from repro.imdb import by_name
 from repro.imdb.executor import CostModel
 from repro.power.model import PowerModel

@@ -15,7 +15,7 @@ from conftest import emit
 from repro.core import make_scheme
 from repro.cpu.core import Core
 from repro.cpu.ops import Load
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 from repro.imdb import by_name
 from repro.kernel import Kernel
 from repro.sim import MemorySystem, SystemConfig, run_query

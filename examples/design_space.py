@@ -14,7 +14,7 @@ Run:  python examples/design_space.py
 from repro import by_name, run_query
 from repro.core.compare import render_table
 from repro.harness.figure14 import render_figure14c
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 
 N_TA, N_TB = 1024, 1024
 

@@ -14,7 +14,7 @@ Run:  python examples/htap_database.py
 """
 
 from repro import by_name, run_query
-from repro.harness.workload import geomean, make_tables
+from repro.workloads import geomean, make_tables
 
 ANALYTICS = ("Q1", "Q3", "Q11")
 TRANSACTIONS = ("Qs2", "Qs4", "Qs6")

@@ -12,7 +12,7 @@ from the shell:
 Run:  python examples/sql_workbench.py
 """
 
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 from repro.imdb.sql import parse
 from repro.sim import run_query
 

@@ -32,6 +32,7 @@ from .fuzz import (
 from .oracle import (
     DataOracle,
     FunctionalMemory,
+    KernelOracle,
     OracleError,
     OracleMismatch,
     PlanValidator,
@@ -53,6 +54,7 @@ __all__ = [
     "FunctionalMemory",
     "FuzzCase",
     "FuzzReport",
+    "KernelOracle",
     "OracleError",
     "OracleMismatch",
     "PlanValidator",

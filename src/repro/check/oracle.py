@@ -369,6 +369,96 @@ class PlanValidator(_MismatchCollector):
                  critical)]
 
 
+class KernelOracle(_MismatchCollector):
+    """Differential check of a generated kernel's lowered op streams.
+
+    A :class:`~repro.workloads.kernels.KernelWorkload` carries its own
+    ground truth: the generator's program-order element accesses and the
+    expected-bytes digest over the functional memory's reference
+    content.  This oracle re-derives both *independently of the
+    lowering* -- it flattens whatever ops the build emitted back to
+    element granularity and diffs them against the generator's access
+    multiset, so a lowering that drops, duplicates or mis-addresses an
+    element (or chunks a gather beyond the scheme's gather factor, or
+    emits stride ops on a design without stride hardware) is caught
+    before a single cycle is simulated.
+    """
+
+    def __init__(self, registry=None, strict: bool = True) -> None:
+        super().__init__(registry, strict)
+        self.ops_checked = 0
+
+    def check_build(self, workload, scheme: AccessScheme, build,
+                    placements) -> None:
+        from ..cpu.ops import GatherLoad, GatherStore, Load, Store
+
+        name = scheme.name
+        g = scheme.gather_factor
+        emitted: Counter = Counter()
+        for ops in build.ops_per_core:
+            for op in ops:
+                self.ops_checked += 1
+                if self.registry is not None:
+                    self.registry.counter("check.kernel_ops").inc()
+                if isinstance(op, (GatherLoad, GatherStore)):
+                    kind = "read" if isinstance(op, GatherLoad) else "write"
+                    if not scheme.supports_stride:
+                        self._mismatch(
+                            "kernel-gather", name,
+                            f"{kind} gather emitted for {workload.name} "
+                            f"but {name} has no stride hardware",
+                            detail=(tuple(op.element_addrs),),
+                        )
+                        continue
+                    if not 1 <= len(op.element_addrs) <= g:
+                        self._mismatch(
+                            "kernel-gather", name,
+                            f"{kind} gather of {len(op.element_addrs)} "
+                            f"elements exceeds the gather factor {g}",
+                            detail=(tuple(op.element_addrs),),
+                        )
+                        continue
+                    for addr in op.element_addrs:
+                        emitted[(kind, addr, scheme.sector_bytes)] += 1
+                elif isinstance(op, (Load, Store)):
+                    kind = "read" if isinstance(op, Load) else "write"
+                    emitted[(kind, op.addr, op.size)] += 1
+        strided_elems = set()
+        if scheme.supports_stride:
+            for gkind, array, elems, _elem, strided in (
+                workload.program().groups
+            ):
+                if not strided:
+                    continue
+                placement = placements[array]
+                for record, offset in elems:
+                    strided_elems.add(
+                        (gkind, placement.addr_of(record, offset))
+                    )
+        expected: Counter = Counter()
+        for kind, addr, size in workload.accesses(placements):
+            # stride hardware fetches whole sectors; plain accesses fetch
+            # the element itself
+            if (kind, addr) in strided_elems:
+                size = scheme.sector_bytes
+            expected[(kind, addr, size)] += 1
+        if emitted != expected:
+            missing = list((expected - emitted).elements())[:4]
+            extra = list((emitted - expected).elements())[:4]
+            self._mismatch(
+                "kernel-accesses", name,
+                f"lowered ops of {workload.name} do not cover the "
+                f"generator's element accesses (missing {missing}, "
+                f"extra {extra})",
+            )
+        expected_result = workload.expected_result(placements)
+        if build.result != expected_result:
+            self._mismatch(
+                "kernel-result", name,
+                f"build result {build.result!r} differs from the "
+                f"generator's expected-bytes model {expected_result!r}",
+            )
+
 class DataOracle(_MismatchCollector):
     """Bit-exact datapath and codeword checks.
 

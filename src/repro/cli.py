@@ -6,6 +6,9 @@ Commands mirror the paper's artefacts:
   ``figure14c`` / ``figure15`` -- regenerate an evaluation figure;
 * ``salp``        -- subarray-level-parallelism interaction sweep
   (SALP-1/SALP-2/MASA vs SAM-en and the composed SAM-en+masa design);
+* ``kernels``     -- micro-kernel stride sweep over the generated
+  workload families (stream/strided/PolyBench) on baseline vs SAM-en
+  vs masa, the Figure-14-style sensitivity grid;
 * ``table1``      -- the qualitative comparison matrix;
 * ``reliability`` -- the fault-injection matrix;
 * ``query``       -- run one SQL statement on a chosen design
@@ -212,6 +215,20 @@ def _cmd_salp(args) -> int:
     return code
 
 
+def _cmd_kernels(args) -> int:
+    from .harness.kernels import run_kernel_sweep
+
+    engine = _make_engine(args)
+    result = run_kernel_sweep(
+        designs=args.designs or None,
+        gather_factor=args.gather,
+        engine=engine,
+    )
+    code = _emit(args, "kernels", result.payload(), result.render)
+    _finish_sweep(args, "kernels", engine)
+    return code
+
+
 def _cmd_table1(args) -> int:
     from .core.compare import comparison_matrix, render_table
 
@@ -250,7 +267,7 @@ def _explain_one(scheme_name, query, tables, gather_factor, as_json):
 
 def _cmd_explain(args) -> int:
     from .core.registry import available_schemes
-    from .harness.workload import make_tables
+    from .workloads import make_tables
     from .imdb.sql import parse
 
     query = parse(args.sql, name="cli")
@@ -282,7 +299,7 @@ def _cmd_explain(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    from .harness.workload import make_tables
+    from .workloads import make_tables
     from .imdb.sql import parse
     from .obs import Observation
     from .sim.runner import run_query
@@ -400,7 +417,7 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_trace_report(args) -> int:
-    from .harness.workload import make_tables
+    from .workloads import make_tables
     from .imdb.sql import parse
     from .obs import Observation, render_stall_report
     from .sim.runner import run_query
@@ -569,6 +586,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_args(p)
     _add_sweep_args(p)
     p.set_defaults(func=_cmd_salp)
+
+    p = sub.add_parser(
+        "kernels",
+        help="micro-kernel stride sweep (generated workloads)",
+    )
+    p.add_argument("--designs", nargs="*", default=None,
+                   help="designs to sweep against baseline "
+                        "(default: SAM-en and masa)")
+    p.add_argument("--gather", type=int, default=8,
+                   help="gather factor for stride-capable designs")
+    _add_output_args(p)
+    _add_sweep_args(p)
+    p.set_defaults(func=_cmd_kernels)
 
     p = sub.add_parser("table1", help="qualitative comparison matrix")
     _add_output_args(p)

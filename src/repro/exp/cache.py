@@ -5,7 +5,8 @@ system configuration it names, and the simulator source code).  The cache
 key is therefore a SHA-256 over
 
 * the canonical JSON form of the :class:`~repro.exp.spec.SweepPoint`
-  (covers scheme, query plan, table recipes, config and overrides),
+  (covers scheme, workload content -- query plan or kernel parameters
+  plus table recipes -- config and overrides),
 * a digest of the git-tracked ``repro`` package sources (any source edit
   invalidates every entry -- re-running a figure after an *unrelated*
   edit still misses, which is the safe direction), and
@@ -33,7 +34,8 @@ from ..obs.artifacts import to_jsonable
 from .spec import SweepPoint
 
 #: bump when cached payload layout changes incompatibly
-CACHE_SCHEMA_VERSION = 1
+#: (v2: points carry a Workload instead of query + tables fields)
+CACHE_SCHEMA_VERSION = 2
 
 _source_digest_cache: dict = {}
 
@@ -90,12 +92,15 @@ def point_digest(point: SweepPoint, source: Optional[str] = None) -> str:
     # cached payload instead of resimulating)
     for observability_field in ("timeline", "timeline_dir"):
         jsonable.pop(observability_field, None)
+    workload = point.workload
     payload = {
         "cache_schema": CACHE_SCHEMA_VERSION,
         "source": source if source is not None else source_digest(),
         "point": jsonable,
-        # the query's concrete type matters (two kinds could share fields)
-        "query_type": type(point.query).__name__ if point.query else None,
+        # the workload's own content digest covers its concrete type and
+        # canonicalized parameters (two families could share field names)
+        "workload_type": type(workload).__name__ if workload else None,
+        "workload_digest": workload.digest if workload else None,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()

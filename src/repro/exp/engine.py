@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanProfiler
 from .cache import ResultCache, point_digest, source_digest
-from .spec import ExperimentSpec, SweepPoint, build_tables
+from .spec import ExperimentSpec, SweepPoint
 
 Key = Tuple[str, ...]
 
@@ -41,18 +41,18 @@ Key = Tuple[str, ...]
 # Point executors (must stay module-level: worker processes import them)
 # --------------------------------------------------------------------------
 
-def _execute_query(point: SweepPoint) -> object:
-    from ..sim.runner import run_query
+def _execute_workload(point: SweepPoint) -> object:
+    """Run a query or kernel point through the workload-generic runner."""
+    from ..sim.runner import run_workload
 
     observe = None
     if point.timeline:
         from ..obs import Observation
 
         observe = Observation(timeline=True)
-    result = run_query(
+    result = run_workload(
+        point.workload,
         point.scheme,
-        point.query,
-        build_tables(point.tables),
         config=point.config,
         gather_factor=point.gather_factor,
         timing=point.timing,
@@ -81,7 +81,8 @@ def _execute_reliability(point: SweepPoint) -> object:
 
 
 _EXECUTORS = {
-    "query": _execute_query,
+    "query": _execute_workload,
+    "kernel": _execute_workload,
     "reliability": _execute_reliability,
 }
 
@@ -215,7 +216,7 @@ class SweepEngine:
             # unchecked runs of the same spec
             points = tuple(
                 dataclasses.replace(p, check=True)
-                if p.kind == "query" and not p.check else p
+                if p.workload is not None and not p.check else p
                 for p in points
             )
         if self.timeline:
@@ -226,7 +227,7 @@ class SweepEngine:
                 dataclasses.replace(
                     p, timeline=True, timeline_dir=self.timeline_dir
                 )
-                if p.kind == "query" and not p.timeline else p
+                if p.workload is not None and not p.timeline else p
                 for p in points
             )
         payloads: List[Optional[object]] = [None] * len(points)

@@ -1,72 +1,53 @@
 """Declarative experiment specifications.
 
 A paper figure is a *grid* of independent simulations.  Instead of each
-harness hand-rolling its own nested loops around ``run_query``, it builds
+harness hand-rolling its own nested loops around the runner, it builds
 an :class:`ExperimentSpec`: a named, ordered tuple of
 :class:`SweepPoint` records, each describing one unit of work purely as
-data -- scheme name, query plan, table recipes, config and overrides.
-Because a point is plain (frozen-dataclass) data, it can be
+data -- scheme name, workload, config and overrides.  Because a point is
+plain (frozen-dataclass) data, it can be
 
 * pickled to a worker process (parallel execution),
 * hashed to a stable content digest (result caching), and
 * replayed bit-identically in any order (deterministic sweeps).
 
-Tables are described by :class:`TableSpec` *recipes* rather than
-materialized arrays: table data is a pure function of
-``(schema, n_records, seed)``, so workers rebuild them locally and the
+The work itself is a :class:`repro.workloads.Workload` -- a relational
+query (:class:`~repro.workloads.QueryWorkload`) or a generated
+micro-kernel (:class:`~repro.workloads.KernelWorkload`).  Workloads
+describe their memory footprint as :class:`~repro.workloads.TableSpec`
+*recipes* rather than materialized arrays: table data is a pure function
+of ``(schema, n_records, seed)``, so workers rebuild it locally and the
 spec stays tiny and hashable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
-from ..imdb.query import Query
-from ..imdb.schema import FIELD_BYTES, Table, TableSchema
+# table recipes live with the workload IR now; re-exported here because
+# they are part of the sweep-spec vocabulary (specs reference recipes)
+from ..workloads.tables import TableSpec, build_tables, standard_tables
 from ..sim.config import SystemConfig
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workloads import Workload
+
+__all__ = [
+    "POINT_KINDS",
+    "ExperimentSpec",
+    "SweepPoint",
+    "TableSpec",
+    "build_tables",
+    "standard_tables",
+]
 
 #: sweep-point kinds with a registered executor (see repro.exp.engine)
-POINT_KINDS = ("query", "reliability")
+POINT_KINDS = ("query", "kernel", "reliability")
 
-
-@dataclass(frozen=True)
-class TableSpec:
-    """Recipe for one synthetic table (data is deterministic in these)."""
-
-    name: str
-    n_fields: int
-    n_records: int
-    seed: int
-    field_bytes: int = FIELD_BYTES
-
-    def __post_init__(self) -> None:
-        if self.n_records <= 0 or self.n_fields <= 0:
-            raise ValueError("table spec needs records and fields")
-
-    @property
-    def schema(self) -> TableSchema:
-        return TableSchema(self.name, self.n_fields, self.field_bytes)
-
-    def build(self) -> Table:
-        """Materialize the table (same bytes on every call)."""
-        return Table(self.schema, self.n_records, seed=self.seed)
-
-
-def standard_tables(
-    n_ta: int, n_tb: int, seed: int = 42
-) -> Tuple[TableSpec, TableSpec]:
-    """The benchmark's Ta (128 fields) / Tb (16 fields) pair, matching
-    :func:`repro.harness.workload.make_tables`."""
-    return (
-        TableSpec("Ta", 128, n_ta, seed),
-        TableSpec("Tb", 16, n_tb, seed + 1),
-    )
-
-
-def build_tables(specs: Tuple[TableSpec, ...]) -> Dict[str, Table]:
-    """Materialize every table of a point, keyed by table name."""
-    return {spec.name: spec.build() for spec in specs}
+#: kinds executed through :func:`repro.sim.runner.run_workload`
+WORKLOAD_KINDS = ("query", "kernel")
 
 
 @dataclass(frozen=True)
@@ -76,23 +57,23 @@ class SweepPoint:
     ``key`` is the point's identity inside its spec -- a tuple of strings
     chosen by the spec builder (e.g. ``("SAM-en", "Q3")``) that result
     shapers use to look results back up.  ``kind`` selects the executor:
-    ``"query"`` runs :func:`repro.sim.runner.run_query`, ``"reliability"``
-    runs a fault-injection campaign.  ``params`` carries kind-specific
-    extras as a sorted tuple of pairs (kept hashable for caching).
+    ``"query"`` and ``"kernel"`` run the point's ``workload`` through
+    :func:`repro.sim.runner.run_workload`, ``"reliability"`` runs a
+    fault-injection campaign.  ``params`` carries kind-specific extras as
+    a sorted tuple of pairs (kept hashable for caching).
     """
 
     key: Tuple[str, ...]
     kind: str = "query"
     scheme: Optional[str] = None
-    query: Optional[Query] = None
-    tables: Tuple[TableSpec, ...] = ()
+    workload: "Optional[Workload]" = None
     gather_factor: Optional[int] = None
     timing: Optional[str] = None  # base-timing preset override by name
     config: Optional[SystemConfig] = None
     max_events: Optional[int] = None
-    #: run with the repro.check protocol checker + plan oracle attached
-    #: (strict: a violation aborts the sweep); part of the cache digest,
-    #: so checked and unchecked payloads never alias
+    #: run with the repro.check protocol checker + workload oracle
+    #: attached (strict: a violation aborts the sweep); part of the cache
+    #: digest, so checked and unchecked payloads never alias
     check: bool = False
     #: record a cycle-level timeline for this point (observability only:
     #: excluded from the cache digest, so flipping it neither invalidates
@@ -112,10 +93,16 @@ class SweepPoint:
             raise ValueError(
                 f"unknown point kind {self.kind!r}; have {POINT_KINDS}"
             )
-        if self.kind == "query":
-            if self.scheme is None or self.query is None or not self.tables:
+        if self.kind in WORKLOAD_KINDS:
+            if self.scheme is None or self.workload is None:
                 raise ValueError(
-                    "a query point needs scheme, query and tables"
+                    f"a {self.kind} point needs a scheme and a workload"
+                )
+            if self.workload.kind != self.kind:
+                raise ValueError(
+                    f"point kind {self.kind!r} does not match workload "
+                    f"kind {self.workload.kind!r} "
+                    f"({self.workload.name})"
                 )
         elif self.scheme is None:
             raise ValueError(f"a {self.kind} point needs a scheme/design")

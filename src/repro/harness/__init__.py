@@ -15,9 +15,19 @@ from .figure15 import (
     run_record_size_sweep,
     run_selectivity_sweep,
 )
+from .kernels import (
+    KERNEL_DESIGNS,
+    KernelSweepResult,
+    build_kernel_spec,
+    render_kernels,
+    run_kernel_sweep,
+)
 from .reliability import render_reliability, run_reliability
 from .report import bar_chart, grouped_bar_chart, sweep_chart
-from .workload import geomean, make_tables
+
+# table helpers migrated into the workload IR; re-exported for callers
+# that still reach them through the harness namespace
+from ..workloads import geomean, make_tables
 
 __all__ = [
     "Figure12Result",
@@ -33,6 +43,11 @@ __all__ = [
     "run_projectivity_sweep",
     "run_record_size_sweep",
     "run_selectivity_sweep",
+    "KERNEL_DESIGNS",
+    "KernelSweepResult",
+    "build_kernel_spec",
+    "render_kernels",
+    "run_kernel_sweep",
     "render_reliability",
     "run_reliability",
     "bar_chart",

@@ -1,6 +1,8 @@
 """Perf-baseline bench harness (host performance, not paper numbers).
 
-``repro bench`` runs a pinned set of (scheme, query) kernels and
+``repro bench`` runs a pinned set of (scheme, workload) kernels -- SQL
+queries by name, generated micro-kernels by their
+:meth:`~repro.workloads.KernelWorkload.from_spec` string -- and
 measures how fast the *simulator itself* executes them: host wall time,
 simulated cycles per host second, and memory operations per host second
 (all read from the span profiler every run carries).  The result is a
@@ -26,15 +28,17 @@ from ..imdb.queries import by_name
 from ..obs import Observation
 from ..obs.artifacts import git_describe, iso_utc
 from ..sim.runner import run_query
-from .workload import make_tables
+from ..workloads import make_tables
 
 #: bump when the bench payload layout changes incompatibly
 BENCH_SCHEMA_VERSION = 1
 
-#: pinned kernel set: representative schemes x query shapes (gathers on
-#: a row store, a pure column store, SAM on both friendly and hostile
-#: queries, the column-wise-activation design, and the subarray-parallel
-#: bank model)
+#: pinned kernel set: representative schemes x workload shapes (gathers
+#: on a row store, a pure column store, SAM on both friendly and hostile
+#: queries, the column-wise-activation design, the subarray-parallel
+#: bank model, and a generated strided micro-kernel on both sides of the
+#: stride-hardware divide).  A workload is a query name or a
+#: ``KernelWorkload.from_spec`` string.
 BENCH_KERNELS: Tuple[Tuple[str, str], ...] = (
     ("baseline", "Q3"),
     ("column-store", "Q1"),
@@ -42,11 +46,25 @@ BENCH_KERNELS: Tuple[Tuple[str, str], ...] = (
     ("SAM-en", "Qs1"),
     ("SAM-sub", "Q1"),
     ("masa", "Q3"),
+    ("baseline", "strided_read[stride=256]"),
+    ("SAM-en", "strided_read[stride=256]"),
 )
 
 #: default wall-time regression gate (CI machines vary; 2x is meant to
 #: catch "accidentally quadratic", not noise)
 DEFAULT_THRESHOLD = 2.0
+
+
+def _run_one(scheme: str, workload: str, tables, queries, observe=None):
+    """Run one bench row: a query by name, else a kernel by spec."""
+    if workload in queries:
+        return run_query(scheme, queries[workload], tables,
+                         observe=observe)
+    from ..sim.runner import run_workload
+    from ..workloads import KernelWorkload
+
+    return run_workload(KernelWorkload.from_spec(workload), scheme,
+                        observe=observe)
 
 
 def _sim_wall_s(result) -> float:
@@ -74,12 +92,12 @@ def run_bench(
     tables = make_tables(n_ta, n_tb)
     queries = by_name()
     rows: List[Dict[str, object]] = []
-    for scheme, query_name in kernels:
+    for scheme, workload in kernels:
         best: Optional[Dict[str, object]] = None
         for _ in range(max(1, repeats)):
             obs = Observation()
-            result = run_query(scheme, queries[query_name], tables,
-                               observe=obs)
+            result = _run_one(scheme, workload, tables, queries,
+                              observe=obs)
             wall_s = result.spans.wall_s if result.spans else 0.0
             sim_wall_s = _sim_wall_s(result)
             mem_ops = (
@@ -89,7 +107,7 @@ def run_bench(
             )
             events = int(result.metrics.get("sim.events", 0))
             row = {
-                "kernel": [scheme, query_name],
+                "kernel": [scheme, workload],
                 "wall_s": wall_s,
                 "sim_wall_s": sim_wall_s,
                 "cycles": result.cycles,
@@ -167,8 +185,8 @@ def profile_bench(
     queries = by_name()
     profiler = cProfile.Profile()
     profiler.enable()
-    for scheme, query_name in kernels:
-        run_query(scheme, queries[query_name], tables)
+    for scheme, workload in kernels:
+        _run_one(scheme, workload, tables, queries)
     profiler.disable()
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
@@ -285,16 +303,20 @@ def compare_bench(
 
 def render_bench(payload: Dict[str, object]) -> str:
     """Terminal table for one bench payload."""
+    rows = payload.get("kernels", [])
+    width = max(
+        [24] + [len("/".join(r["kernel"])) + 2 for r in rows]
+    )
     lines = [
         f"bench {payload['label']} "
         f"(git {payload.get('git') or '?'}, {payload.get('created', '?')})",
-        "kernel                    wall_s   Mcycles/s     kops/s"
+        f"{'kernel':<{width}s}   wall_s   Mcycles/s     kops/s"
         "    cycles  ev/cyc",
     ]
-    for row in payload.get("kernels", []):
+    for row in rows:
         name = "/".join(row["kernel"])
         lines.append(
-            f"{name:<24s}{row['wall_s']:>9.3f}"
+            f"{name:<{width}s}{row['wall_s']:>9.3f}"
             f"{row['cycles_per_sec'] / 1e6:>12.2f}"
             f"{row['ops_per_sec'] / 1e3:>11.1f}"
             f"{row['cycles']:>10d}"
@@ -302,7 +324,7 @@ def render_bench(payload: Dict[str, object]) -> str:
         )
     totals = payload.get("totals", {})
     lines.append(
-        f"{'total':<24s}{totals.get('wall_s', 0.0):>9.3f}"
+        f"{'total':<{width}s}{totals.get('wall_s', 0.0):>9.3f}"
         f"{totals.get('cycles_per_sec', 0.0) / 1e6:>12.2f}"
         f"{'':>11s}{totals.get('cycles', 0):>10d}"
         f"{totals.get('events_per_cycle', 0.0):>8.3f}"

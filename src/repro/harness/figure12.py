@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.registry import FIGURE12_DESIGNS, _NO_STRIDE
 from ..exp import ExperimentSpec, SweepEngine, SweepPoint, standard_tables
 from ..imdb.queries import q_queries, qs_queries
-from .workload import geomean
+from ..workloads import QueryWorkload, geomean
 
 
 @dataclass
@@ -135,16 +135,17 @@ def build_figure12_spec(
     tables = standard_tables(n_ta, n_tb)
 
     points = [
-        SweepPoint(key=("baseline", q.name), scheme="baseline", query=q,
-                   tables=tables)
+        SweepPoint(key=("baseline", q.name), scheme="baseline",
+                   workload=QueryWorkload(query=q, tables=tables))
         for q in all_q
     ]
     for design in designs:
         # designs without stride hardware reject a gather factor
         gf = gather_factor if design not in _NO_STRIDE else None
         points += [
-            SweepPoint(key=(design, q.name), scheme=design, query=q,
-                       tables=tables, gather_factor=gf)
+            SweepPoint(key=(design, q.name), scheme=design,
+                       workload=QueryWorkload(query=q, tables=tables),
+                       gather_factor=gf)
             for q in all_q
         ]
     if include_ideal:
@@ -154,8 +155,7 @@ def build_figure12_spec(
             SweepPoint(
                 key=("ideal", q.name),
                 scheme="baseline" if q.prefers == "row" else "column-store",
-                query=q,
-                tables=tables,
+                workload=QueryWorkload(query=q, tables=tables),
             )
             for q in all_q
         ]

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence
 
 from ..core.registry import FIGURE12_DESIGNS
 from ..exp import ExperimentSpec, SweepEngine, SweepPoint, standard_tables
+from ..workloads import QueryWorkload
 from ..imdb.queries import by_name
 
 #: Figure 13's query classes.
@@ -69,7 +70,8 @@ def build_figure13_spec(
     tables = standard_tables(n_ta, n_tb)
     points = [
         SweepPoint(key=(design, qname), scheme=design,
-                   query=queries[qname], tables=tables)
+                   workload=QueryWorkload(query=queries[qname],
+                                          tables=tables))
         for design in designs
         for names in CLASSES.values()
         for qname in names

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence
 from ..area.overhead import AreaReport, all_designs
 from ..exp import ExperimentSpec, SweepEngine, SweepPoint, standard_tables
 from ..imdb.queries import all_queries, q_queries
-from .workload import geomean
+from ..workloads import QueryWorkload, geomean
 
 
 @dataclass
@@ -57,13 +57,14 @@ def build_figure14a_spec(
     ]
     tables = standard_tables(n_ta, n_tb)
     points = [
-        SweepPoint(key=("baseline", q.name), scheme="baseline", query=q,
-                   tables=tables)
+        SweepPoint(key=("baseline", q.name), scheme="baseline",
+                   workload=QueryWorkload(query=q, tables=tables))
         for q in q_list
     ]
     points += [
-        SweepPoint(key=(substrate, design, q.name), scheme=design, query=q,
-                   tables=tables, timing=timing_name)
+        SweepPoint(key=(substrate, design, q.name), scheme=design,
+                   workload=QueryWorkload(query=q, tables=tables),
+                   timing=timing_name)
         for substrate, timing_name in SUBSTRATES
         for design in designs
         for q in q_list
@@ -141,13 +142,14 @@ def build_figure14b_spec(
     ]
     tables = standard_tables(n_ta, n_tb)
     points = [
-        SweepPoint(key=("baseline", q.name), scheme="baseline", query=q,
-                   tables=tables)
+        SweepPoint(key=("baseline", q.name), scheme="baseline",
+                   workload=QueryWorkload(query=q, tables=tables))
         for q in q_list
     ]
     points += [
         SweepPoint(key=(f"{bits}-bit", design, q.name), scheme=design,
-                   query=q, tables=tables, gather_factor=factor)
+                   workload=QueryWorkload(query=q, tables=tables),
+                   gather_factor=factor)
         for bits, factor in GRANULARITY_TO_GATHER.items()
         for design in designs
         for q in q_list

@@ -29,6 +29,7 @@ from ..exp import (
 )
 from ..imdb.queries import aggregate_query, arithmetic_query
 from ..imdb.query import Predicate, SelectQuery
+from ..workloads import QueryWorkload
 
 #: The representative designs of Figure 15.
 FIG15_DESIGNS = ("RC-NVM-wd", "GS-DRAM-ecc", "SAM-en")
@@ -77,15 +78,15 @@ def _axis_points(
 ) -> List[SweepPoint]:
     """The points of one x-axis value: baseline, every design, and the
     column store (which, with the baseline, defines "ideal")."""
+    workload = QueryWorkload(query=query, tables=tables)
     points = [
-        SweepPoint(key=("baseline", x), scheme="baseline", query=query,
-                   tables=tables),
+        SweepPoint(key=("baseline", x), scheme="baseline",
+                   workload=workload),
         SweepPoint(key=("column-store", x), scheme="column-store",
-                   query=query, tables=tables),
+                   workload=workload),
     ]
     points += [
-        SweepPoint(key=(design, x), scheme=design, query=query,
-                   tables=tables)
+        SweepPoint(key=(design, x), scheme=design, workload=workload)
         for design in designs
     ]
     return points
@@ -214,11 +215,11 @@ def build_record_size_spec(
             Predicate.where(0, "<", 1.0),
         )
         x = str(fields)
+        workload = QueryWorkload(query=query, tables=tables)
         points.append(SweepPoint(key=("baseline", x), scheme="baseline",
-                                 query=query, tables=tables))
+                                 workload=workload))
         points += [
-            SweepPoint(key=(design, x), scheme=design, query=query,
-                       tables=tables)
+            SweepPoint(key=(design, x), scheme=design, workload=workload)
             for design in designs
         ]
     return ExperimentSpec(

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.registry import SALP_DESIGNS, _NO_STRIDE
 from ..exp import ExperimentSpec, SweepEngine, SweepPoint, standard_tables
+from ..workloads import QueryWorkload
 from ..imdb.queries import q_queries
 
 #: Bank-conflict-heavy queries: the two joins plus a wide aggregate.
@@ -121,15 +122,16 @@ def build_salp_spec(
     ]
     tables = standard_tables(n_ta, n_tb)
     points = [
-        SweepPoint(key=("baseline", q.name), scheme="baseline", query=q,
-                   tables=tables)
+        SweepPoint(key=("baseline", q.name), scheme="baseline",
+                   workload=QueryWorkload(query=q, tables=tables))
         for q in q_list
     ]
     for design in designs or SALP_DESIGNS:
         gf = gather_factor if design not in _NO_STRIDE else None
         points += [
-            SweepPoint(key=(design, q.name), scheme=design, query=q,
-                       tables=tables, gather_factor=gf)
+            SweepPoint(key=(design, q.name), scheme=design,
+                       workload=QueryWorkload(query=q, tables=tables),
+                       gather_factor=gf)
             for q in q_list
         ]
     return ExperimentSpec(

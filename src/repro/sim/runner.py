@@ -1,9 +1,16 @@
-"""End-to-end query runner: scheme + query + tables -> RunResult.
+"""End-to-end runner: scheme + workload -> RunResult.
 
 This is the reproduction's equivalent of the paper's gem5+NVMain stack:
-it allocates the tables through the scheme's placement, lowers the query
-with the executor, runs the cores against the cycle-level memory system,
-flushes dirty state, and reports time, command counts and energy.
+it allocates the workload's tables through the scheme's placement,
+lowers the workload into per-core op streams (the relational executor
+for queries, the generator registry for micro-kernels), runs the cores
+against the cycle-level memory system, flushes dirty state, and reports
+time, command counts and energy.
+
+:func:`run_workload` is the single core path; :func:`run_query` and
+:func:`run_ideal` are thin wrappers that construct a
+:class:`~repro.workloads.QueryWorkload` -- their parameter lists cannot
+drift from the core's because they *are* the core's.
 
 Every run is observed: a :class:`repro.obs.Observation` (created on
 demand when the caller does not pass one) records phase spans, publishes
@@ -33,15 +40,16 @@ from ..obs import (
 from ..obs.artifacts import ArtifactWriter
 from ..power.model import PowerModel
 
-# typing-only imports of the imdb layer (it imports sim.config, so pulling
-# it at module load would be circular; the executor is imported lazily in
-# run_query instead)
+# typing-only imports of the imdb/workloads layers (they import
+# sim.config, so pulling them at module load would be circular; the
+# wrappers import lazily instead)
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..imdb.executor import CostModel, ExecutorOutput
+    from ..imdb.executor import CostModel
     from ..imdb.query import Query
     from ..imdb.schema import Table
+    from ..workloads import Workload
 from .config import SystemConfig
 from .results import RunResult
 from .system import MemorySystem
@@ -118,7 +126,7 @@ def _stall(
     system: MemorySystem,
     cores: List[Core],
     scheme: AccessScheme,
-    query: "Query",
+    workload_name: str,
     obs: Observation,
 ) -> SimulationStallError:
     return SimulationStallError(build_stall_report(
@@ -127,7 +135,7 @@ def _stall(
         system,
         cores=cores,
         scheme=scheme.name,
-        query=query.name,
+        query=workload_name,
         recent_events=obs.recent_events(),
     ))
 
@@ -246,7 +254,7 @@ def _finish_timeline(obs: Observation, cycles: int) -> None:
 
 
 def _bus_utilization(obs: Observation, busy: int, cycles: int,
-                     scheme: AccessScheme, query: "Query") -> float:
+                     scheme: AccessScheme, workload_name: str) -> float:
     """Busy fraction of the data bus, *without* clamping: a value above
     1.0 is a bookkeeping bug, so it is surfaced as a warning metric
     rather than silently hidden by ``min(1.0, ...)``."""
@@ -258,7 +266,7 @@ def _bus_utilization(obs: Observation, busy: int, cycles: int,
         obs.registry.gauge("sim.bus_utilization_raw").set(utilization)
         warnings.warn(
             f"data-bus utilization {utilization:.3f} > 1.0 "
-            f"({scheme.name}/{query.name}): busy-cycle bookkeeping bug",
+            f"({scheme.name}/{workload_name}): busy-cycle bookkeeping bug",
             RuntimeWarning,
             stacklevel=3,
         )
@@ -266,10 +274,10 @@ def _bus_utilization(obs: Observation, busy: int, cycles: int,
     return utilization
 
 
-def run_query(
+def run_workload(
+    workload: "Workload",
     scheme: "AccessScheme | str",
-    query: "Query",
-    tables: "Dict[str, Table]",
+    tables: "Optional[Dict[str, Table]]" = None,
     config: Optional[SystemConfig] = None,
     cost: "Optional[CostModel]" = None,
     gather_factor: Optional[int] = None,
@@ -279,14 +287,21 @@ def run_query(
     max_events: Optional[int] = None,
     check: bool = False,
 ) -> RunResult:
-    """Simulate one query on one design and return the measurements.
+    """Simulate one workload on one design and return the measurements.
+
+    ``workload`` is any :class:`repro.workloads.Workload` -- a relational
+    query or a generated micro-kernel; ``tables`` optionally supplies
+    pre-materialized tables (the workload's own
+    :meth:`~repro.workloads.Workload.materialize` runs otherwise).
 
     ``check`` attaches the :mod:`repro.check` correctness tooling: a
     strict :class:`~repro.check.TimingProtocolChecker` on the memory
     controller and a :class:`~repro.check.PlanValidator` on a private
-    copy of the scheme.  Any protocol violation or oracle mismatch
-    aborts the run with a structured exception; ``check.*`` counters
-    land in the run's metrics.
+    copy of the scheme, plus the workload's own build oracle (the plan
+    footprint diff for queries, the :class:`~repro.check.KernelOracle`
+    access/expected-bytes diff for kernels).  Any protocol violation or
+    oracle mismatch aborts the run with a structured exception;
+    ``check.*`` counters land in the run's metrics.
 
     ``observe`` threads a caller-owned :class:`repro.obs.Observation`
     through the run (enable tracing, choose an artifacts directory);
@@ -298,14 +313,14 @@ def run_query(
     string ``scheme`` this keeps the whole entry point picklable, which
     is what lets :mod:`repro.exp` run sweep points in worker processes.
     """
-    from ..imdb.executor import QueryExecutor
-
     if isinstance(scheme, str):
         scheme = make_scheme(scheme, gather_factor=gather_factor)
     if timing is not None:
         scheme = scheme.with_timing(timing)
     config = config or SystemConfig()
     obs = observe if observe is not None else Observation()
+    if tables is None:
+        tables = workload.materialize()
     validator = None
     if check:
         import copy
@@ -326,7 +341,8 @@ def run_query(
     kernel = Kernel()
     profiler.clock = lambda: kernel.now
     events = 0
-    with profiler.span("run_query", scheme=scheme.name, query=query.name):
+    span_name = "run_query" if workload.kind == "query" else "run_kernel"
+    with profiler.span(span_name, scheme=scheme.name, query=workload.name):
         with profiler.span("allocate"):
             system = MemorySystem(kernel, scheme, config)
             if check:
@@ -337,20 +353,18 @@ def run_query(
                 ).attach(system.controller)
             placements = allocate_placements(scheme, tables)
         with profiler.span("build"):
-            executor = QueryExecutor(scheme, config, tables, placements,
-                                     cost)
-            output = executor.build(query)
-            if validator is not None and output.plan is not None:
-                # static check: every emitted gather must sit inside the
-                # physical plan's declared sector footprints
-                validator.check_lowered_ops(
-                    output.plan, output.ops_per_core, placements
-                )
+            build = workload.build(scheme, config, tables, placements,
+                                   cost=cost)
+            if validator is not None:
+                # static check before any cycle is simulated: the plan
+                # footprint diff for queries, the generator access /
+                # expected-bytes oracle for kernels
+                workload.check_build(validator, build, placements)
             cores = [
                 Core(kernel, core_id, system, config.core)
                 for core_id in range(config.cores)
             ]
-            for core, ops in zip(cores, output.ops_per_core):
+            for core, ops in zip(cores, build.ops_per_core):
                 core.run(ops)
         _attach_observers(system, obs, cores)
         with profiler.span("execute") as execute_span:
@@ -360,12 +374,14 @@ def run_query(
                 raise
             except SimulationError as exc:
                 raise _stall(f"event budget exhausted: {exc}", kernel,
-                             system, cores, scheme, query, obs) from exc
+                             system, cores, scheme, workload.name,
+                             obs) from exc
             unfinished = [c.core_id for c in cores if not c.finished]
             if unfinished:
                 raise _stall(
                     f"cores {unfinished} stalled (no events left to make "
-                    f"progress)", kernel, system, cores, scheme, query, obs
+                    f"progress)", kernel, system, cores, scheme,
+                    workload.name, obs
                 )
         # Account the writeback tail: flush dirty lines, drain the queues.
         with profiler.span("flush_drain"):
@@ -376,11 +392,11 @@ def run_query(
                 raise
             except SimulationError as exc:
                 raise _stall(f"event budget exhausted during drain: {exc}",
-                             kernel, system, cores, scheme, query,
+                             kernel, system, cores, scheme, workload.name,
                              obs) from exc
             if not system.fully_drained:
                 raise _stall("memory system failed to drain", kernel,
-                             system, cores, scheme, query, obs)
+                             system, cores, scheme, workload.name, obs)
         _add_activity_spans(obs, execute_span, cores, system)
 
     cycles = kernel.now
@@ -409,20 +425,21 @@ def run_query(
     busy = system.controller.channel.data_busy_cycles
     result = RunResult(
         scheme=scheme.name,
-        query=query.name,
+        query=workload.name,
         cycles=cycles,
         ns=scheme.timing.ns(cycles),
         memory_stats=system.controller.stats,
         power=power,
-        result=output.result,
-        selected_records=output.selected_records,
+        result=build.result,
+        selected_records=build.selected_records,
         core_stats=core_stats,
-        bus_utilization=_bus_utilization(obs, busy, cycles, scheme, query),
+        bus_utilization=_bus_utilization(obs, busy, cycles, scheme,
+                                         workload.name),
         metrics=obs.registry.as_dict(),
         spans=profiler.root,
         stalls=stalls,
         config=config,
-        plan=output.plan,
+        plan=build.plan,
     )
     if obs.artifacts_dir is not None:
         writer = ArtifactWriter(obs.artifacts_dir)
@@ -430,6 +447,42 @@ def run_query(
             result, tracer=obs.tracer, timeline=obs.timeline_recorder
         )
     return result
+
+
+def run_query(
+    scheme: "AccessScheme | str",
+    query: "Query",
+    tables: "Dict[str, Table]",
+    config: Optional[SystemConfig] = None,
+    cost: "Optional[CostModel]" = None,
+    gather_factor: Optional[int] = None,
+    timing: Optional[str] = None,
+    observe: Optional[Observation] = None,
+    artifacts: Optional[str] = None,
+    max_events: Optional[int] = None,
+    check: bool = False,
+) -> RunResult:
+    """Simulate one query on one design (thin :func:`run_workload`
+    wrapper around a :class:`~repro.workloads.QueryWorkload`).
+
+    The caller's ``tables`` dict is used as-is -- updates and inserts
+    mutate it, exactly as before the workload IR existed.
+    """
+    from ..workloads import QueryWorkload
+
+    return run_workload(
+        QueryWorkload(query=query),
+        scheme,
+        tables=tables,
+        config=config,
+        cost=cost,
+        gather_factor=gather_factor,
+        timing=timing,
+        observe=observe,
+        artifacts=artifacts,
+        max_events=max_events,
+        check=check,
+    )
 
 
 def run_ideal(

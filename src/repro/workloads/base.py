@@ -1,0 +1,108 @@
+"""The workload IR: what the simulator runs, described as data.
+
+A :class:`Workload` is everything :func:`repro.sim.runner.run_workload`
+needs to drive one simulation, independent of *what kind* of work it is:
+
+* a stable ``name`` (labels, sweep keys, artifacts),
+* a content ``digest`` (two workloads with the same digest produce the
+  same op streams and expected result -- the result cache keys on it),
+* ``table_specs`` describing the memory footprint as
+  :class:`~repro.workloads.tables.TableSpec` recipes (the runner places
+  them through the scheme exactly like relational tables), and
+* ``build()``, which lowers the workload into per-core streams of
+  :mod:`repro.cpu.ops` memory operations over the sload/sstore ISA plus
+  an expected-result model the differential oracle can check.
+
+Two families implement it: :class:`~repro.workloads.query.QueryWorkload`
+wraps the relational ``repro.imdb`` path behavior-identically, and
+:class:`~repro.workloads.kernels.KernelWorkload` generates parameterized
+micro-kernels (stream / strided / PolyBench-style).  Workloads are frozen
+dataclasses: hashable, picklable to sweep workers, and digestible.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .tables import TableSpec, build_tables
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.scheme import AccessScheme, Placement
+    from ..cpu.ops import MemOp
+    from ..imdb.schema import Table
+    from ..sim.config import SystemConfig
+
+
+@dataclass
+class WorkloadBuild:
+    """What lowering a workload produces: per-core op streams, the
+    ground-truth/expected result, and (for query workloads) the physical
+    plan the oracle diffs footprints against."""
+
+    ops_per_core: "List[List[MemOp]]"
+    result: object
+    selected_records: int = 0
+    plan: Optional[object] = None
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(ops) for ops in self.ops_per_core)
+
+
+class Workload(abc.ABC):
+    """One simulatable unit of work (see module docstring)."""
+
+    #: executor family: ``"query"`` or ``"kernel"`` (matches the sweep
+    #: point kinds in :mod:`repro.exp.spec`)
+    kind: str = ""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Stable human-readable identity (sweep keys, artifact names)."""
+
+    @property
+    @abc.abstractmethod
+    def digest(self) -> str:
+        """Content digest: equal digests => equal op streams + result."""
+
+    @property
+    @abc.abstractmethod
+    def table_specs(self) -> Tuple[TableSpec, ...]:
+        """Memory-footprint recipes the runner places and allocates."""
+
+    def materialize(self) -> "Dict[str, Table]":
+        """Build the tables this workload runs against."""
+        specs = self.table_specs
+        if not specs:
+            raise ValueError(
+                f"workload {self.name!r} carries no table specs; pass "
+                f"pre-materialized tables to run_workload instead"
+            )
+        return build_tables(specs)
+
+    @abc.abstractmethod
+    def build(
+        self,
+        scheme: "AccessScheme",
+        config: "SystemConfig",
+        tables: "Dict[str, Table]",
+        placements: "Dict[str, Placement]",
+        cost: Optional[object] = None,
+    ) -> WorkloadBuild:
+        """Lower into per-core op streams + the expected-result model."""
+
+    def check_build(self, validator, build: WorkloadBuild,
+                    placements: "Dict[str, Placement]") -> None:
+        """Hook for the ``--check`` oracle pass over a finished build.
+
+        The base implementation diffs lowered gathers against the
+        physical plan when one exists (the query path); kernel workloads
+        override this with the generator's expected-access model.
+        """
+        if build.plan is not None:
+            validator.check_lowered_ops(
+                build.plan, build.ops_per_core, placements
+            )

@@ -1,0 +1,90 @@
+"""Table recipes and benchmark workload construction (Section 6.1).
+
+The paper loads 10M records per table; a pure-Python cycle-level simulator
+cannot stream that in reasonable time, so the harness defaults to a few
+thousand records.  The workloads are stationary streaming scans -- per-
+record cost converges after a few hundred records -- so relative numbers
+are stable in table size (EXPERIMENTS.md records the sensitivity check).
+
+:class:`TableSpec` is the hashable *recipe* form used by sweep points and
+workloads: table data is a pure function of ``(schema, n_records, seed)``,
+so worker processes rebuild tables locally and specs stay tiny.  Kernel
+workloads reuse the same recipe to describe flat arrays -- an array of
+``n`` records of ``stride`` bytes is just a table whose record pitch is
+the stride.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..imdb.schema import FIELD_BYTES, TA, TB, Table, TableSchema
+
+#: Default table sizes for the harness (records).
+DEFAULT_TA_RECORDS = 2048
+DEFAULT_TB_RECORDS = 4096
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Recipe for one synthetic table (data is deterministic in these)."""
+
+    name: str
+    n_fields: int
+    n_records: int
+    seed: int
+    field_bytes: int = FIELD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.n_records <= 0 or self.n_fields <= 0:
+            raise ValueError("table spec needs records and fields")
+
+    @property
+    def schema(self) -> TableSchema:
+        return TableSchema(self.name, self.n_fields, self.field_bytes)
+
+    def build(self) -> Table:
+        """Materialize the table (same bytes on every call)."""
+        return Table(self.schema, self.n_records, seed=self.seed)
+
+
+def standard_tables(
+    n_ta: int, n_tb: int, seed: int = 42
+) -> Tuple[TableSpec, TableSpec]:
+    """The benchmark's Ta (128 fields) / Tb (16 fields) pair, matching
+    :func:`make_tables`."""
+    return (
+        TableSpec("Ta", 128, n_ta, seed),
+        TableSpec("Tb", 16, n_tb, seed + 1),
+    )
+
+
+def build_tables(specs: Tuple[TableSpec, ...]) -> Dict[str, Table]:
+    """Materialize every table of a point, keyed by table name."""
+    return {spec.name: spec.build() for spec in specs}
+
+
+def make_tables(
+    n_ta: int = DEFAULT_TA_RECORDS,
+    n_tb: int = DEFAULT_TB_RECORDS,
+    seed: int = 42,
+) -> Dict[str, Table]:
+    """Fresh Ta/Tb tables (fresh per run: updates mutate them)."""
+    return {
+        "Ta": Table(TA, n_ta, seed=seed),
+        "Tb": Table(TB, n_tb, seed=seed + 1),
+    }
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's cross-query summary statistic)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of nothing")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean needs positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

@@ -33,7 +33,7 @@ from repro.core.registry import make_scheme
 from repro.dram.commands import Command, IOMode
 from repro.dram.geometry import Geometry
 from repro.dram.timing import preset
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 from repro.imdb import by_name
 from repro.sim import run_query
 

@@ -5,7 +5,7 @@ import pytest
 from repro.cache.hierarchy import HierarchyConfig
 from repro.core import make_scheme
 from repro.dram.controller import ControllerConfig
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 from repro.imdb import TA, TB, Table, TableSchema, by_name
 from repro.imdb.query import Predicate, SelectQuery
 from repro.sim import SystemConfig, run_query

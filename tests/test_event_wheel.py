@@ -23,7 +23,7 @@ from repro.kernel import Kernel
 from repro.obs import Observation
 from repro.sim import run_query
 from repro.sim.config import SystemConfig
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 
 from .test_dram_controller import read
 

@@ -19,7 +19,7 @@ from repro.exp import (
     standard_tables,
 )
 from repro.harness.figure12 import build_figure12_spec, run_figure12
-from repro.harness.workload import make_tables
+from repro.workloads import QueryWorkload, make_tables
 from repro.imdb.queries import by_name
 from repro.obs.artifacts import to_jsonable
 
@@ -28,11 +28,12 @@ def _tiny_spec(n=2):
     """A minimal two-point query spec (baseline + SAM-en on Q3)."""
     q = by_name()["Q3"]
     tables = standard_tables(64, 64)
+    workload = QueryWorkload(query=q, tables=tables)
     points = [
-        SweepPoint(key=("baseline", "Q3"), scheme="baseline", query=q,
-                   tables=tables),
-        SweepPoint(key=("SAM-en", "Q3"), scheme="SAM-en", query=q,
-                   tables=tables, gather_factor=8),
+        SweepPoint(key=("baseline", "Q3"), scheme="baseline",
+                   workload=workload),
+        SweepPoint(key=("SAM-en", "Q3"), scheme="SAM-en",
+                   workload=workload, gather_factor=8),
     ]
     return ExperimentSpec("tiny", tuple(points[:n]))
 
@@ -59,14 +60,21 @@ class TestSweepSpec:
     def test_duplicate_keys_rejected(self):
         q = by_name()["Q3"]
         tables = standard_tables(16, 16)
-        p = SweepPoint(key=("a",), scheme="baseline", query=q, tables=tables)
+        p = SweepPoint(key=("a",), scheme="baseline",
+                       workload=QueryWorkload(query=q, tables=tables))
         with pytest.raises(ValueError, match="duplicate"):
             ExperimentSpec("dup", (p, p))
 
-    def test_query_point_needs_tables(self):
+    def test_query_point_needs_workload(self):
         with pytest.raises(ValueError):
-            SweepPoint(key=("a",), scheme="baseline",
-                       query=by_name()["Q3"], tables=())
+            SweepPoint(key=("a",), scheme="baseline")
+
+    def test_kind_must_match_workload_kind(self):
+        workload = QueryWorkload(query=by_name()["Q3"],
+                                 tables=standard_tables(16, 16))
+        with pytest.raises(ValueError, match="does not match"):
+            SweepPoint(key=("a",), kind="kernel", scheme="baseline",
+                       workload=workload)
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="kind"):
@@ -93,13 +101,17 @@ class TestDigests:
     def test_digest_sees_every_knob(self):
         base = _tiny_spec().points[1]
         d0 = point_digest(base, source="s")
+        workload = base.workload
         variants = [
-            SweepPoint(key=base.key, scheme=base.scheme, query=base.query,
-                       tables=base.tables, gather_factor=4),
-            SweepPoint(key=base.key, scheme=base.scheme, query=base.query,
-                       tables=base.tables, gather_factor=8, timing="RRAM"),
-            SweepPoint(key=base.key, scheme=base.scheme, query=base.query,
-                       tables=standard_tables(128, 64), gather_factor=8),
+            SweepPoint(key=base.key, scheme=base.scheme, workload=workload,
+                       gather_factor=4),
+            SweepPoint(key=base.key, scheme=base.scheme, workload=workload,
+                       gather_factor=8, timing="RRAM"),
+            SweepPoint(key=base.key, scheme=base.scheme,
+                       workload=QueryWorkload(
+                           query=workload.query,
+                           tables=standard_tables(128, 64)),
+                       gather_factor=8),
         ]
         for v in variants:
             assert point_digest(v, source="s") != d0

@@ -14,7 +14,7 @@ from repro.harness.figure15 import (
     run_selectivity_sweep,
 )
 from repro.harness.reliability import run_reliability
-from repro.harness.workload import geomean, make_tables
+from repro.workloads import geomean, make_tables
 
 
 class TestWorkload:

@@ -7,7 +7,7 @@ factor -- the reproduction's acceptance criteria.
 
 import pytest
 
-from repro.harness.workload import geomean, make_tables
+from repro.workloads import geomean, make_tables
 from repro.imdb import by_name
 from repro.sim import run_ideal, run_query
 

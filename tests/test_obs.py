@@ -7,7 +7,7 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 from repro.imdb.sql import parse
 from repro.obs import (
     Observation,
@@ -370,10 +370,9 @@ class TestRunnerHealthMetrics:
 
         obs = Observation()
         scheme = SimpleNamespace(name="s")
-        query = SimpleNamespace(name="q")
         with pytest.warns(RuntimeWarning, match="utilization"):
             value = _bus_utilization(obs, busy=150, cycles=100,
-                                     scheme=scheme, query=query)
+                                     scheme=scheme, workload_name="q")
         assert value == pytest.approx(1.5)
         assert obs.registry.value("sim.bus_utilization_overflow") == 1
         assert obs.registry.value("sim.bus_utilization_raw") == \
@@ -389,6 +388,6 @@ class TestRunnerHealthMetrics:
             warnings.simplefilter("error")
             value = _bus_utilization(obs, busy=50, cycles=100,
                                      scheme=SimpleNamespace(name="s"),
-                                     query=SimpleNamespace(name="q"))
+                                     workload_name="q")
         assert value == 0.5
         assert "sim.bus_utilization_overflow" not in obs.registry

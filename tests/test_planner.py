@@ -9,7 +9,7 @@ fall into three classes: stride-capable designs, plain row stores
 import pytest
 
 from repro.core.registry import available_schemes, make_scheme
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 from repro.imdb import by_name
 from repro.imdb.plan import LogicalPlan, PhysicalPlan, logical_plan
 from repro.imdb.planner import ideal_choice, plan_for

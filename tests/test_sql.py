@@ -186,7 +186,7 @@ class TestExplainRoundTrip:
 
     @pytest.mark.parametrize("family", sorted(STATEMENTS))
     def test_family_round_trips(self, family):
-        from repro.harness.workload import make_tables
+        from repro.workloads import make_tables
         from repro.imdb.planner import plan_for
 
         query = parse(self.STATEMENTS[family], name=f"rt-{family}")
@@ -202,7 +202,7 @@ class TestExplainRoundTrip:
 
 class TestEndToEnd:
     def test_parsed_query_runs(self):
-        from repro.harness.workload import make_tables
+        from repro.workloads import make_tables
         from repro.sim import run_query
 
         q = parse("SELECT SUM(f9) FROM Ta WHERE f10 > 7500", name="sql-q3")
@@ -211,7 +211,7 @@ class TestEndToEnd:
         assert isinstance(result.result, dict)
 
     def test_parsed_matches_builtin_q3(self):
-        from repro.harness.workload import make_tables
+        from repro.workloads import make_tables
         from repro.imdb import by_name
         from repro.sim import run_query
 

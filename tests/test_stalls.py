@@ -12,7 +12,7 @@ from repro.dram import (
     RequestType,
 )
 from repro.dram.controller import QueueFullError
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 from repro.imdb.sql import parse
 from repro.kernel import Kernel
 from repro.obs import Observation

@@ -8,7 +8,7 @@ import pytest
 
 from repro.exp.cache import point_digest
 from repro.exp.spec import SweepPoint, standard_tables
-from repro.harness.workload import make_tables
+from repro.workloads import make_tables
 from repro.imdb.queries import by_name
 from repro.imdb.sql import parse
 from repro.obs import Observation
@@ -157,11 +157,13 @@ class TestChromeTrace:
 
 class TestCacheIdentity:
     def _point(self, **kw):
+        from repro.workloads import QueryWorkload
+
         return SweepPoint(
             key=("SAM-en", "Q3"),
             scheme="SAM-en",
-            query=by_name()["Q3"],
-            tables=standard_tables(64, 64),
+            workload=QueryWorkload(query=by_name()["Q3"],
+                                   tables=standard_tables(64, 64)),
             **kw,
         )
 

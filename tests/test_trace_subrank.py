@@ -145,7 +145,7 @@ class TestSubRank:
         assert span >= 3 * DDR4_2400.tBL  # back-to-back, no overlap
 
     def test_strided_query_barely_helped(self):
-        from repro.harness.workload import make_tables
+        from repro.workloads import make_tables
         from repro.imdb import by_name
         from repro.sim import run_query
 
